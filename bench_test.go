@@ -1,0 +1,227 @@
+// Benchmarks regenerating every table and figure of the paper at
+// reduced scale (full-scale runs are `cmd/alexbench -exp all`). Each
+// benchmark runs the complete pipeline — synthetic data generation,
+// PARIS-style baseline, ALEX to convergence — and reports the headline
+// quantities of the corresponding figure as custom metrics.
+package alex_test
+
+import (
+	"testing"
+
+	"alex/internal/core"
+	"alex/internal/experiments"
+)
+
+// benchOpts returns the reduced-scale options used by all quality
+// benchmarks: half the paper-scale entity counts with the episode size
+// shrunk proportionally, so per-link feedback exposure matches the
+// full-scale experiments (smaller scales over-expose each link and
+// distort the noise experiments).
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale: 0.5,
+		Mutate: func(c *core.Config) {
+			c.EpisodeSize = 500
+			c.MaxEpisodes = 30
+		},
+	}
+}
+
+func benchQuality(b *testing.B, profile string, opts experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunQuality(profile, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Final.F1, "finalF")
+		b.ReportMetric(r.Final.Recall, "finalR")
+		b.ReportMetric(float64(r.Result.Episodes), "episodes")
+		b.ReportMetric(float64(r.Discovered), "discovered")
+	}
+}
+
+// BenchmarkTable1Datasets regenerates the Table 1 dataset inventory.
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(0.1)
+		if len(rows) != 11 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		triples := 0
+		for _, r := range rows {
+			triples += r.Triples1 + r.Triples2
+		}
+		b.ReportMetric(float64(triples), "triples")
+	}
+}
+
+// BenchmarkFig2aDBpediaNYTimes: batch mode, low initial recall (Fig 2a).
+func BenchmarkFig2aDBpediaNYTimes(b *testing.B) {
+	benchQuality(b, "dbpedia-nytimes", benchOpts())
+}
+
+// BenchmarkFig2bDBpediaDrugbank: batch mode, low initial precision (Fig 2b).
+func BenchmarkFig2bDBpediaDrugbank(b *testing.B) {
+	benchQuality(b, "dbpedia-drugbank", benchOpts())
+}
+
+// BenchmarkFig2cDBpediaLexvo: batch mode, both metrics low (Fig 2c).
+func BenchmarkFig2cDBpediaLexvo(b *testing.B) {
+	benchQuality(b, "dbpedia-lexvo", benchOpts())
+}
+
+// BenchmarkFig3OpenCycPairs covers Figures 3a-3c.
+func BenchmarkFig3OpenCycPairs(b *testing.B) {
+	for _, profile := range []string{"opencyc-nytimes", "opencyc-drugbank", "opencyc-lexvo"} {
+		b.Run(profile, func(b *testing.B) {
+			benchQuality(b, profile, benchOpts())
+		})
+	}
+}
+
+// BenchmarkFig4SpecificDomains covers Figures 4a-4d (episode size 10).
+func BenchmarkFig4SpecificDomains(b *testing.B) {
+	opts := experiments.Options{Scale: 0.5, Mutate: func(c *core.Config) { c.MaxEpisodes = 40 }}
+	for _, profile := range []string{"dbpedia-dogfood", "opencyc-dogfood", "dbpedia-nba-nytimes", "opencyc-nba-nytimes"} {
+		b.Run(profile, func(b *testing.B) {
+			benchQuality(b, profile, opts)
+		})
+	}
+}
+
+// BenchmarkFig5aFiltering measures the θ-filtering reduction (Fig 5a).
+func BenchmarkFig5aFiltering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5("dbpedia-nytimes", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReductionPct, "reduction%")
+		b.ReportMetric(float64(r.TotalPairs), "totalPairs")
+		b.ReportMetric(float64(r.FilteredPairs), "filteredPairs")
+	}
+}
+
+// BenchmarkFig5bFilteredVsGT measures the ground-truth share (Fig 5b).
+func BenchmarkFig5bFilteredVsGT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5("dbpedia-nytimes", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GTShareOfFilteredPct, "gtShare%")
+	}
+}
+
+// BenchmarkFig6Blacklist compares blacklist on/off (Figs 6a, 6b).
+func BenchmarkFig6Blacklist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Fig6Blacklist("dbpedia-nytimes", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.Runs[0].Final.F1, "withF")
+		b.ReportMetric(c.Runs[1].Final.F1, "withoutF")
+		b.ReportMetric(meanNeg(c.Runs[0]), "withNeg%")
+		b.ReportMetric(meanNeg(c.Runs[1]), "withoutNeg%")
+	}
+}
+
+// BenchmarkFig7Rollback compares rollback on/off (Figs 7a-7c).
+func BenchmarkFig7Rollback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7Rollback("dbpedia-nytimes", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WithRollback.Final.F1, "withF")
+		b.ReportMetric(r.WithoutRollback.Final.F1, "withoutF")
+	}
+}
+
+// BenchmarkExecutionTime reproduces the §7.3 timing comparison.
+func BenchmarkExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExecutionTime([]string{"dbpedia-nytimes", "dbpedia-nba-nytimes"}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PerEpisode.Seconds(), "batch-s/ep")
+		b.ReportMetric(rows[1].PerEpisode.Seconds(), "domain-s/ep")
+	}
+}
+
+// BenchmarkFig8MultiDomain stresses the largest pair (Appendix B, Fig 8).
+func BenchmarkFig8MultiDomain(b *testing.B) {
+	opts := experiments.Options{Scale: 0.25, Mutate: func(c *core.Config) {
+		c.EpisodeSize = 300
+		c.MaxEpisodes = 30
+	}}
+	benchQuality(b, "dbpedia-opencyc", opts)
+}
+
+// BenchmarkFig9IncorrectFeedback compares 0% vs 10% feedback error
+// (Appendix C, Fig 9).
+func BenchmarkFig9IncorrectFeedback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Fig9IncorrectFeedback("dbpedia-nytimes", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.Runs[0].Final.Recall, "cleanR")
+		b.ReportMetric(c.Runs[1].Final.Recall, "noisyR")
+	}
+}
+
+// BenchmarkFig10StepSize sweeps the step size (Appendix D, Fig 10).
+func BenchmarkFig10StepSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.Fig10StepSize("dbpedia-nytimes", benchOpts(), []float64{0.01, 0.05, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range sw.Points {
+			b.ReportMetric(p.Run.Final.Recall, "R@"+p.Label)
+		}
+	}
+}
+
+// BenchmarkFig11EpisodeSize sweeps the episode size (Appendix D, Fig 11).
+func BenchmarkFig11EpisodeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.Fig11EpisodeSize("dbpedia-nytimes",
+			experiments.Options{Scale: 0.5, Mutate: func(c *core.Config) { c.MaxEpisodes = 30 }},
+			[]int{250, 500, 750})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range sw.Points {
+			b.ReportMetric(float64(p.Run.Result.Episodes), "eps@"+p.Label)
+		}
+	}
+}
+
+// BenchmarkAblationPolicy isolates the value of the RL policy against a
+// uniform random action choice (beyond the paper).
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.AblationPolicy("dbpedia-nytimes", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanNeg(c.Runs[0]), "learnedNeg%")
+		b.ReportMetric(meanNeg(c.Runs[1]), "uniformNeg%")
+	}
+}
+
+func meanNeg(r *experiments.QualityRun) float64 {
+	if len(r.Series.NegativeFeedbackPct) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.Series.NegativeFeedbackPct {
+		s += v
+	}
+	return s / float64(len(r.Series.NegativeFeedbackPct))
+}

@@ -1,0 +1,106 @@
+// Command alexcluster runs ALEX partitions across machines (§6.2).
+//
+// Start workers (one per machine or core):
+//
+//	alexcluster -serve :7070
+//	alexcluster -serve :7071
+//
+// Then drive them with a coordinator over a synthetic profile:
+//
+//	alexcluster -workers localhost:7070,localhost:7071 -profile opencyc-nytimes
+//
+// The coordinator partitions dataset 1 round-robin across the workers,
+// ships each worker its shard as N-Triples, and streams feedback items
+// to the owning shard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strings"
+
+	"alex/internal/cluster"
+	"alex/internal/core"
+	"alex/internal/eval"
+	"alex/internal/feedback"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/synth"
+)
+
+func main() {
+	serve := flag.String("serve", "", "listen address for worker mode (e.g. :7070)")
+	workers := flag.String("workers", "", "comma-separated worker addresses for coordinator mode")
+	profile := flag.String("profile", "opencyc-nytimes", "synthetic profile for coordinator mode")
+	scale := flag.Float64("scale", 0.5, "profile scale factor")
+	episodes := flag.Int("episodes", 15, "maximum episodes")
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		l, err := net.Listen("tcp", *serve)
+		if err != nil {
+			log.Fatalf("alexcluster: %v", err)
+		}
+		fmt.Printf("worker listening on %s\n", l.Addr())
+		if err := cluster.Serve(l); err != nil {
+			log.Fatalf("alexcluster: %v", err)
+		}
+	case *workers != "":
+		coordinate(strings.Split(*workers, ","), *profile, *scale, *episodes)
+	default:
+		flag.Usage()
+	}
+}
+
+func coordinate(addrs []string, profileName string, scale float64, episodes int) {
+	prof, ok := synth.ProfileByName(profileName)
+	if !ok {
+		log.Fatalf("alexcluster: unknown profile %q", profileName)
+	}
+	prof = prof.Scale(scale)
+	ds := synth.Generate(prof)
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	for i, s := range scored {
+		initial[i] = s.Link
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.EpisodeSize = prof.EpisodeSize
+	cfg.MaxEpisodes = episodes
+	cfg.Seed = prof.Seed
+
+	coord, err := cluster.Dial(addrs)
+	if err != nil {
+		log.Fatalf("alexcluster: %v", err)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinating %d workers over %s (%d+%d triples, %d initial links)\n",
+		coord.Workers(), prof.Name, ds.G1.Size(), ds.G2.Size(), len(initial))
+
+	if err := coord.Setup(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg); err != nil {
+		log.Fatalf("alexcluster: %v", err)
+	}
+	oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(cfg.Seed)))
+
+	report := func() eval.Metrics {
+		set, err := coord.Candidates()
+		if err != nil {
+			log.Fatalf("alexcluster: %v", err)
+		}
+		return eval.Compute(set, ds.GroundTruth)
+	}
+	fmt.Printf("episode 0: %v\n", report())
+	res, err := coord.Run(oracle, func(st core.EpisodeStats) {
+		fmt.Printf("episode %d: %v (explored %d, removed %d, neg %.1f%%)\n",
+			st.Episode, report(), st.Explored, st.Removed, st.NegativePct())
+	})
+	if err != nil {
+		log.Fatalf("alexcluster: %v", err)
+	}
+	fmt.Printf("done: %d episodes, converged=%v\n", res.Episodes, res.Converged)
+}

@@ -1,0 +1,135 @@
+// Command alexlink runs the complete linking pipeline on two N-Triples
+// files: PARIS-style automatic linking for initial candidates, then ALEX
+// refinement driven by simulated feedback from a ground-truth link file.
+//
+//	alexlink -ds1 a.nt -ds2 b.nt -truth links.nt -out improved.nt
+//
+// The ground-truth file holds owl:sameAs triples (subject from ds1,
+// object from ds2). Output is owl:sameAs triples for the final candidate
+// set. Without -truth, only the automatic linker runs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"alex"
+)
+
+func main() {
+	ds1Path := flag.String("ds1", "", "N-Triples file of dataset 1 (required)")
+	ds2Path := flag.String("ds2", "", "N-Triples file of dataset 2 (required)")
+	truthPath := flag.String("truth", "", "N-Triples file of ground-truth owl:sameAs links (enables ALEX refinement)")
+	outPath := flag.String("out", "", "output file for owl:sameAs links (default stdout)")
+	episode := flag.Int("episode", 1000, "feedback episode size")
+	maxEpisodes := flag.Int("max-episodes", 100, "maximum episodes")
+	partitions := flag.Int("partitions", 4, "equal-size partitions of dataset 1")
+	step := flag.Float64("step", 0.05, "exploration step size")
+	theta := flag.Float64("theta", 0.3, "feature filtering threshold")
+	errRate := flag.Float64("err", 0, "incorrect feedback rate (0..1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *ds1Path == "" || *ds2Path == "" {
+		fmt.Fprintln(os.Stderr, "alexlink: -ds1 and -ds2 are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dict := alex.NewDict()
+	g1 := loadGraph(*ds1Path, dict)
+	g2 := loadGraph(*ds2Path, dict)
+	e1 := g1.SubjectIDs()
+	e2 := g2.SubjectIDs()
+	fmt.Fprintf(os.Stderr, "loaded %s: %d triples, %d subjects\n", *ds1Path, g1.Size(), len(e1))
+	fmt.Fprintf(os.Stderr, "loaded %s: %d triples, %d subjects\n", *ds2Path, g2.Size(), len(e2))
+
+	scored := alex.AutoLink(g1, g2, e1, e2, alex.AutoLinkOptions())
+	fmt.Fprintf(os.Stderr, "automatic linker: %d candidate links\n", len(scored))
+	final := alex.NewLinkSet(alex.LinksOf(scored)...)
+
+	if *truthPath != "" {
+		gt := loadTruth(*truthPath, dict)
+		fmt.Fprintf(os.Stderr, "ground truth: %d links\n", gt.Len())
+
+		cfg := alex.DefaultConfig()
+		cfg.EpisodeSize = *episode
+		cfg.MaxEpisodes = *maxEpisodes
+		cfg.Partitions = *partitions
+		cfg.StepSize = *step
+		cfg.Theta = *theta
+		cfg.Seed = *seed
+		sys := alex.NewSystem(g1, g2, e1, e2, alex.LinksOf(scored), cfg)
+		oracle := alex.NewOracle(gt, *errRate, rand.New(rand.NewSource(*seed)))
+
+		fmt.Fprintf(os.Stderr, "initial: %v\n", alex.Evaluate(sys.Candidates(), gt))
+		res := sys.Run(oracle, func(st alex.EpisodeStats) {
+			m := alex.Evaluate(sys.Candidates(), gt)
+			fmt.Fprintf(os.Stderr, "episode %d: %v (neg %.1f%%)\n", st.Episode, m, st.NegativePct())
+		})
+		fmt.Fprintf(os.Stderr, "done: %d episodes, converged=%v\n", res.Episodes, res.Converged)
+		final = sys.Candidates()
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
+	for _, l := range final.Slice() {
+		t := alex.Triple{S: dict.Term(l.E1), P: sameAs, O: dict.Term(l.E2)}
+		fmt.Fprintf(w, "%s\n", t)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d links\n", final.Len())
+}
+
+func loadGraph(path string, dict *alex.Dict) *alex.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := alex.NewGraphWithDict(dict)
+	if _, err := alex.ReadNTriples(f, g); err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func loadTruth(path string, dict *alex.Dict) alex.LinkSet {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := alex.NewGraphWithDict(dict)
+	if _, err := alex.ReadNTriples(f, g); err != nil {
+		fatal(err)
+	}
+	gt := alex.NewLinkSet()
+	for _, t := range g.Triples() {
+		s, ok1 := dict.Lookup(t.S)
+		o, ok2 := dict.Lookup(t.O)
+		if ok1 && ok2 {
+			gt.Add(alex.Link{E1: s, E2: o})
+		}
+	}
+	return gt
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "alexlink: %v\n", err)
+	os.Exit(1)
+}

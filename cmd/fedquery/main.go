@@ -1,0 +1,151 @@
+// Command fedquery answers federated SPARQL queries over two N-Triples
+// datasets joined by owl:sameAs links, and optionally routes answer
+// feedback into an ALEX instance — the end-to-end loop of the paper's
+// Figure 1 on the command line.
+//
+// One-shot:
+//
+//	fedquery -ds1 a.nt -ds2 b.nt -links links.nt \
+//	    -query 'SELECT ?x WHERE { ... }' [-approve 0] [-reject 1]
+//
+// Interactive (a small REPL over the same state):
+//
+//	fedquery -ds1 a.nt -ds2 b.nt -links links.nt -repl
+//
+// -approve/-reject take answer row indices; the feedback is applied to
+// an ALEX system seeded with the given links, and the updated link set
+// is written to -links-out if provided.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"alex"
+)
+
+func main() {
+	ds1Path := flag.String("ds1", "", "N-Triples file of dataset 1 (required)")
+	ds2Path := flag.String("ds2", "", "N-Triples file of dataset 2 (required)")
+	linksPath := flag.String("links", "", "N-Triples file of owl:sameAs links (required)")
+	query := flag.String("query", "", "SPARQL SELECT or ASK query")
+	approve := flag.Int("approve", -1, "answer row index to approve")
+	reject := flag.Int("reject", -1, "answer row index to reject")
+	linksOut := flag.String("links-out", "", "write the post-feedback link set to this file")
+	repl := flag.Bool("repl", false, "interactive mode: queries and feedback from stdin")
+	flag.Parse()
+
+	if *ds1Path == "" || *ds2Path == "" || *linksPath == "" || (*query == "" && !*repl) {
+		fmt.Fprintln(os.Stderr, "fedquery: -ds1, -ds2, -links and either -query or -repl are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *repl {
+		runREPL(*ds1Path, *ds2Path, *linksPath, *linksOut)
+		return
+	}
+
+	dict := alex.NewDict()
+	g1 := loadGraph(*ds1Path, dict)
+	g2 := loadGraph(*ds2Path, dict)
+	linkSet := loadLinks(*linksPath, dict)
+
+	fed := alex.NewFederator(dict)
+	must(fed.AddSource("ds1", g1))
+	must(fed.AddSource("ds2", g2))
+	fed.SetLinks(linkSet)
+
+	res, err := fed.Query(*query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d answers:\n%s", len(res.Rows), res.String())
+
+	if *approve < 0 && *reject < 0 {
+		return
+	}
+
+	cfg := alex.DefaultConfig()
+	sys := alex.NewSystem(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), linkSetSlice(linkSet), cfg)
+	if *approve >= 0 {
+		if *approve >= len(res.Rows) {
+			fatal(fmt.Errorf("approve index %d out of range", *approve))
+		}
+		alex.ApproveAnswer(res.Rows[*approve], sys)
+		fmt.Printf("approved answer %d (%d links)\n", *approve, res.Rows[*approve].Used.Len())
+	}
+	if *reject >= 0 {
+		if *reject >= len(res.Rows) {
+			fatal(fmt.Errorf("reject index %d out of range", *reject))
+		}
+		alex.RejectAnswer(res.Rows[*reject], sys)
+		fmt.Printf("rejected answer %d (%d links)\n", *reject, res.Rows[*reject].Used.Len())
+	}
+	after := sys.Candidates()
+	fmt.Printf("link set: %d -> %d links\n", linkSet.Len(), after.Len())
+
+	if *linksOut != "" {
+		f, err := os.Create(*linksOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
+		for _, l := range after.Slice() {
+			fmt.Fprintf(w, "%s\n", alex.Triple{S: dict.Term(l.E1), P: sameAs, O: dict.Term(l.E2)})
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func linkSetSlice(s alex.LinkSet) []alex.Link { return s.Slice() }
+
+func loadGraph(path string, dict *alex.Dict) *alex.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := alex.NewGraphWithDict(dict)
+	if _, err := alex.ReadNTriples(f, g); err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func loadLinks(path string, dict *alex.Dict) alex.LinkSet {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := alex.NewGraphWithDict(dict)
+	if _, err := alex.ReadNTriples(f, g); err != nil {
+		fatal(err)
+	}
+	out := alex.NewLinkSet()
+	for _, t := range g.Triples() {
+		s, ok1 := dict.Lookup(t.S)
+		o, ok2 := dict.Lookup(t.O)
+		if ok1 && ok2 {
+			out.Add(alex.Link{E1: s, E2: o})
+		}
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fedquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alex"
+)
+
+const replHelp = `commands:
+  <SPARQL>            run a SELECT or ASK query (single line, or end lines with \ to continue)
+  approve <i>         approve answer row i of the last result (feedback to ALEX)
+  reject <i>          reject answer row i of the last result
+  links               show the current candidate link count
+  stats               show learned feature statistics
+  save <file>         write current links as owl:sameAs N-Triples
+  help                this message
+  quit                exit`
+
+// runREPL drives the federated query + feedback loop interactively: the
+// closest thing in this repo to the user experience the paper describes
+// in §3.2.
+func runREPL(ds1Path, ds2Path, linksPath, linksOut string) {
+	dict := alex.NewDict()
+	g1 := loadGraph(ds1Path, dict)
+	g2 := loadGraph(ds2Path, dict)
+	linkSet := loadLinks(linksPath, dict)
+
+	cfg := alex.DefaultConfig()
+	sys := alex.NewSystem(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), linkSet.Slice(), cfg)
+
+	fed := alex.NewFederator(dict)
+	must(fed.AddSource("ds1", g1))
+	must(fed.AddSource("ds2", g2))
+	fed.SetLinks(sys.Candidates())
+
+	fmt.Printf("fedquery REPL: %d + %d triples, %d links. Type 'help'.\n",
+		g1.Size(), g2.Size(), sys.CandidateCount())
+
+	var last *alex.AnswerSet
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var pending strings.Builder
+
+	prompt := func() {
+		if pending.Len() > 0 {
+			fmt.Print("... ")
+		} else {
+			fmt.Print("> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			prompt()
+			continue
+		}
+		if pending.Len() > 0 {
+			pending.WriteString(line)
+			line = pending.String()
+			pending.Reset()
+		}
+		if line == "" {
+			prompt()
+			continue
+		}
+		switch {
+		case line == "quit" || line == "exit":
+			writeLinksIfRequested(sys, dict, linksOut)
+			return
+		case line == "help":
+			fmt.Println(replHelp)
+		case line == "links":
+			fmt.Printf("%d candidate links (blacklisted: handled internally)\n", sys.CandidateCount())
+		case line == "stats":
+			fmt.Print(alex.FormatFeatureStats(dict, sys.FeatureStats()))
+		case strings.HasPrefix(line, "save "):
+			path := strings.TrimSpace(strings.TrimPrefix(line, "save "))
+			if err := saveLinks(sys, dict, path); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Printf("wrote %d links to %s\n", sys.CandidateCount(), path)
+			}
+		case strings.HasPrefix(line, "approve ") || strings.HasPrefix(line, "reject "):
+			applyFeedback(line, last, sys)
+			// keep the query layer in sync with the evolving link set
+			fed.SetLinks(sys.Candidates())
+		default:
+			res, err := fed.Query(line)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				break
+			}
+			if len(res.Vars) == 0 && len(res.Rows) == 0 {
+				fmt.Printf("ASK -> %v\n", res.Ask)
+				break
+			}
+			last = res
+			fmt.Printf("%d answer(s):\n%s", len(res.Rows), res.String())
+		}
+		prompt()
+	}
+	writeLinksIfRequested(sys, dict, linksOut)
+}
+
+func applyFeedback(line string, last *alex.AnswerSet, sys *alex.System) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		fmt.Println("usage: approve <row> | reject <row>")
+		return
+	}
+	if last == nil {
+		fmt.Println("no previous query result")
+		return
+	}
+	i, err := strconv.Atoi(fields[1])
+	if err != nil || i < 0 || i >= len(last.Rows) {
+		fmt.Printf("row index out of range (0..%d)\n", len(last.Rows)-1)
+		return
+	}
+	row := last.Rows[i]
+	if row.Used.Len() == 0 {
+		fmt.Println("that answer used no sameAs links; nothing to learn from")
+		return
+	}
+	before := sys.CandidateCount()
+	if fields[0] == "approve" {
+		alex.ApproveAnswer(row, sys)
+	} else {
+		alex.RejectAnswer(row, sys)
+	}
+	fmt.Printf("%sd %d link(s); candidates %d -> %d\n", fields[0], row.Used.Len(), before, sys.CandidateCount())
+}
+
+func saveLinks(sys *alex.System, dict *alex.Dict, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
+	for _, l := range sys.Candidates().Slice() {
+		fmt.Fprintf(w, "%s\n", alex.Triple{S: dict.Term(l.E1), P: sameAs, O: dict.Term(l.E2)})
+	}
+	return w.Flush()
+}
+
+func writeLinksIfRequested(sys *alex.System, dict *alex.Dict, linksOut string) {
+	if linksOut == "" {
+		return
+	}
+	if err := saveLinks(sys, dict, linksOut); err != nil {
+		fmt.Fprintf(os.Stderr, "fedquery: %v\n", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Checkpointing a long-running ALEX deployment: the paper's batch-mode
+// service provider (§7.2.1) collects feedback continuously; this example
+// runs a few episodes, snapshots everything the system has learned
+// (candidates, provenance, blacklist, Q tables, policies) to a file,
+// restores it into a freshly built system, and keeps going.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"alex"
+)
+
+func main() {
+	prof, ok := alex.ProfileByName("opencyc-lexvo")
+	if !ok {
+		log.Fatal("missing profile")
+	}
+	ds := alex.GenerateDataset(prof)
+	initial := alex.LinksOf(alex.AutoLink(ds.G1, ds.G2, ds.Entities1, ds.Entities2, alex.AutoLinkOptions()))
+
+	cfg := alex.DefaultConfig()
+	cfg.EpisodeSize = prof.EpisodeSize
+	cfg.Partitions = prof.Partitions
+	cfg.MaxEpisodes = 30
+
+	sys := alex.NewSystem(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	oracle := alex.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(7)))
+
+	for i := 0; i < 3; i++ {
+		sys.RunEpisode(oracle)
+	}
+	mid := alex.Evaluate(sys.Candidates(), ds.GroundTruth)
+	fmt.Printf("after 3 episodes: %v\n", mid)
+
+	// Snapshot to disk.
+	path := filepath.Join(os.TempDir(), "alex-checkpoint.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("checkpoint written: %s (%d bytes)\n", path, info.Size())
+
+	// A new process would rebuild the system over the same data and
+	// restore. (Dictionary IDs are positional, so the datasets must be
+	// loaded identically.)
+	restored := alex.NewSystem(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := restored.Restore(rf); err != nil {
+		log.Fatal(err)
+	}
+	rf.Close()
+	fmt.Printf("restored at episode %d with %d candidates\n", restored.Episode(), restored.CandidateCount())
+
+	// Continue to convergence from the checkpoint.
+	res := restored.Run(alex.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(8))), nil)
+	final := alex.Evaluate(restored.Candidates(), ds.GroundTruth)
+	fmt.Printf("after %d total episodes (converged=%v): %v\n", res.Episodes, res.Converged, final)
+	os.Remove(path)
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"net/rpc"
+	"testing"
+
+	"alex/internal/core"
+	"alex/internal/eval"
+	"alex/internal/feedback"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/synth"
+)
+
+// startWorkers launches n in-process workers on loopback listeners and
+// returns their addresses.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		addrs[i] = l.Addr().String()
+		go Serve(l) //nolint:errcheck // listener close ends the loop
+	}
+	return addrs
+}
+
+func clusterWorld(t *testing.T) (*synth.Dataset, []links.Link, core.Config) {
+	t.Helper()
+	prof, ok := synth.ProfileByName("opencyc-lexvo")
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	prof = prof.Scale(0.5)
+	ds := synth.Generate(prof)
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	for i, s := range scored {
+		initial[i] = s.Link
+	}
+	cfg := core.DefaultConfig()
+	cfg.EpisodeSize = 120
+	cfg.MaxEpisodes = 12
+	return ds, initial, cfg
+}
+
+func TestDistributedRunImprovesQuality(t *testing.T) {
+	ds, initial, cfg := clusterWorld(t)
+	addrs := startWorkers(t, 3)
+
+	coord, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if coord.Workers() != 3 {
+		t.Fatalf("workers = %d", coord.Workers())
+	}
+	if err := coord.Setup(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := coord.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBefore := eval.Compute(before, ds.GroundTruth)
+
+	oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(3)))
+	res, err := coord.Run(oracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAfter := eval.Compute(after, ds.GroundTruth)
+	t.Logf("distributed: %d episodes, %v -> %v", res.Episodes, mBefore, mAfter)
+	if mAfter.F1 <= mBefore.F1 {
+		t.Fatalf("no improvement: %.3f -> %.3f", mBefore.F1, mAfter.F1)
+	}
+	if res.Episodes == 0 {
+		t.Fatal("no episodes ran")
+	}
+}
+
+func TestDistributedMatchesInitialCandidates(t *testing.T) {
+	ds, initial, cfg := clusterWorld(t)
+	addrs := startWorkers(t, 2)
+	coord, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Setup(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := coord.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := links.NewSet(initial...)
+	if cands.SymmetricDiff(want) != 0 {
+		t.Fatalf("initial candidates differ by %d links across the wire", cands.SymmetricDiff(want))
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatal("Dial with no addresses succeeded")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestWorkerRejectsCallsBeforeAssign(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	client, err := rpc.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var n int
+	if err := client.Call("Worker.CandidateCount", Empty{}, &n); err == nil {
+		t.Fatal("unassigned worker accepted a call")
+	}
+	var sr SampleReply
+	if err := client.Call("Worker.Sample", Empty{}, &sr); err == nil {
+		t.Fatal("unassigned worker sampled")
+	}
+}
+
+func TestWorkerAssignBadData(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	client, err := rpc.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var reply AssignReply
+	err = client.Call("Worker.Assign", AssignArgs{
+		Dataset1NT: "not ntriples at all",
+		Dataset2NT: "",
+	}, &reply)
+	if err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+	err = client.Call("Worker.Assign", AssignArgs{
+		Dataset1NT: `<http://a> <http://p> "x" .`,
+		Dataset2NT: `<http://b> <http://p> "x" .`,
+		Entities1:  []string{"http://missing"},
+	}, &reply)
+	if err == nil {
+		t.Fatal("unknown entity accepted")
+	}
+}
+
+func TestConfigWireRoundTrip(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.StepSize = 0.07
+	cfg.Epsilon = 0.2
+	cfg.UseRollback = false
+	w := FromConfig(cfg)
+	back := w.toConfig()
+	if back.StepSize != 0.07 || back.Epsilon != 0.2 || back.UseRollback {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Partitions != 1 {
+		t.Fatalf("worker config must pin Partitions=1, got %d", back.Partitions)
+	}
+}
+
+// The distributed run and a local run with the same partition count are
+// both valid executions; this test checks the distributed path reaches
+// comparable quality (not identical: RNG streams differ by transport).
+func TestDistributedComparableToLocal(t *testing.T) {
+	ds, initial, cfg := clusterWorld(t)
+	cfg.Partitions = 2
+
+	local := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(5)))
+	local.Run(oracle, nil)
+	mLocal := eval.Compute(local.Candidates(), ds.GroundTruth)
+
+	addrs := startWorkers(t, 2)
+	coord, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Setup(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg); err != nil {
+		t.Fatal(err)
+	}
+	oracle2 := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(5)))
+	if _, err := coord.Run(oracle2, nil); err != nil {
+		t.Fatal(err)
+	}
+	set, err := coord.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mDist := eval.Compute(set, ds.GroundTruth)
+	t.Logf("local F=%.3f, distributed F=%.3f", mLocal.F1, mDist.F1)
+	if mDist.F1 < mLocal.F1-0.25 {
+		t.Fatalf("distributed quality far below local: %.3f vs %.3f", mDist.F1, mLocal.F1)
+	}
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"strings"
+
+	"alex/internal/core"
+	"alex/internal/feature"
+	"alex/internal/feedback"
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// Coordinator drives a set of remote workers through the episode loop:
+// it owns the canonical dictionary, splits the dataset-1 entities
+// round-robin across workers (one shard per worker, §6.2), and routes
+// uniformly sampled feedback to the owning shard.
+type Coordinator struct {
+	clients []*rpc.Client
+	dict    *rdf.Dict
+	rng     *rand.Rand
+
+	episodeSize  int
+	maxEpisodes  int
+	relaxedDelta float64
+	episode      int
+	relaxedAt    int
+	prev         links.Set
+}
+
+// Dial connects to the worker addresses.
+func Dial(addrs []string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	c := &Coordinator{}
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, client)
+	}
+	return c, nil
+}
+
+// Close disconnects from all workers.
+func (c *Coordinator) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// Workers returns the number of connected workers.
+func (c *Coordinator) Workers() int { return len(c.clients) }
+
+// Setup serializes the datasets, partitions the dataset-1 entities
+// round-robin across the workers, and assigns each worker its shard.
+func (c *Coordinator) Setup(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, initial []links.Link, cfg core.Config) error {
+	if g1.Dict() != g2.Dict() {
+		return fmt.Errorf("cluster: datasets must share a dictionary")
+	}
+	c.dict = g1.Dict()
+	c.rng = rand.New(rand.NewSource(cfg.Seed))
+	c.episodeSize = cfg.EpisodeSize
+	if c.episodeSize < 1 {
+		c.episodeSize = 1
+	}
+	c.maxEpisodes = cfg.MaxEpisodes
+	if c.maxEpisodes < 1 {
+		c.maxEpisodes = 100
+	}
+	c.relaxedDelta = cfg.RelaxedDelta
+
+	var ds1, ds2 strings.Builder
+	if err := rdf.WriteNTriples(&ds1, g1); err != nil {
+		return err
+	}
+	if err := rdf.WriteNTriples(&ds2, g2); err != nil {
+		return err
+	}
+	e2 := c.iris(entities2)
+
+	shards := feature.PartitionRoundRobin(entities1, len(c.clients))
+	shardOf := map[rdf.ID]int{}
+	for wi, shard := range shards {
+		for _, e := range shard {
+			shardOf[e] = wi
+		}
+	}
+	initialByShard := make([][][2]string, len(c.clients))
+	for _, l := range initial {
+		wi := shardOf[l.E1]
+		initialByShard[wi] = append(initialByShard[wi],
+			[2]string{c.dict.Term(l.E1).Value, c.dict.Term(l.E2).Value})
+	}
+
+	for wi, client := range c.clients {
+		args := AssignArgs{
+			Dataset1NT: ds1.String(),
+			Dataset2NT: ds2.String(),
+			Entities1:  c.iris(shards[wi]),
+			Entities2:  e2,
+			Initial:    initialByShard[wi],
+			Config:     FromConfig(withSeed(cfg, cfg.Seed+int64(wi)+1)),
+		}
+		var reply AssignReply
+		if err := client.Call("Worker.Assign", args, &reply); err != nil {
+			return fmt.Errorf("cluster: assign worker %d: %w", wi, err)
+		}
+	}
+	c.prev = nil
+	return nil
+}
+
+func withSeed(cfg core.Config, seed int64) core.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+func (c *Coordinator) iris(ids []rdf.ID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = c.dict.Term(id).Value
+	}
+	return out
+}
+
+// Candidates gathers the global candidate set, interned into the
+// coordinator's dictionary.
+func (c *Coordinator) Candidates() (links.Set, error) {
+	out := links.NewSet()
+	for wi, client := range c.clients {
+		var reply CandidatesReply
+		if err := client.Call("Worker.Candidates", Empty{}, &reply); err != nil {
+			return nil, fmt.Errorf("cluster: candidates from worker %d: %w", wi, err)
+		}
+		for _, lw := range reply.Links {
+			e1, ok1 := c.dict.Lookup(rdf.IRI(lw.E1))
+			e2, ok2 := c.dict.Lookup(rdf.IRI(lw.E2))
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("cluster: worker %d returned unknown entity", wi)
+			}
+			out.Add(links.Link{E1: e1, E2: e2})
+		}
+	}
+	return out, nil
+}
+
+// RunEpisode drives one feedback episode across all workers: sampling
+// is uniform over the union of shard candidate sets; each item is
+// judged by the oracle and sent to the owning worker; every worker then
+// improves its policy.
+func (c *Coordinator) RunEpisode(oracle feedback.Judger) (core.EpisodeStats, error) {
+	st := core.EpisodeStats{Episode: c.episode + 1}
+	if c.prev == nil {
+		prev, err := c.Candidates()
+		if err != nil {
+			return st, err
+		}
+		c.prev = prev
+	}
+	for _, client := range c.clients {
+		if err := client.Call("Worker.BeginEpisode", Empty{}, &Empty{}); err != nil {
+			return st, err
+		}
+	}
+
+	counts := make([]int, len(c.clients))
+	for i := 0; i < c.episodeSize; i++ {
+		total := 0
+		for wi, client := range c.clients {
+			if err := client.Call("Worker.CandidateCount", Empty{}, &counts[wi]); err != nil {
+				return st, err
+			}
+			total += counts[wi]
+		}
+		if total == 0 {
+			break
+		}
+		r := c.rng.Intn(total)
+		wi := 0
+		for ; wi < len(counts); wi++ {
+			if r < counts[wi] {
+				break
+			}
+			r -= counts[wi]
+		}
+		var sample SampleReply
+		if err := c.clients[wi].Call("Worker.Sample", Empty{}, &sample); err != nil {
+			return st, err
+		}
+		if !sample.OK {
+			continue
+		}
+		l, err := c.coordLink(sample.Link)
+		if err != nil {
+			return st, err
+		}
+		positive := oracle.Judge(l)
+		st.Feedback++
+		if !positive {
+			st.Negative++
+		}
+		if err := c.clients[wi].Call("Worker.Feedback", FeedbackArgs{Link: sample.Link, Positive: positive}, &Empty{}); err != nil {
+			return st, err
+		}
+	}
+
+	for _, client := range c.clients {
+		var reply EpisodeReply
+		if err := client.Call("Worker.FinishEpisode", Empty{}, &reply); err != nil {
+			return st, err
+		}
+		st.Explored += reply.Explored
+		st.Removed += reply.Removed
+		st.Rollbacks += reply.Rollbacks
+	}
+	c.episode++
+
+	now, err := c.Candidates()
+	if err != nil {
+		return st, err
+	}
+	denom := c.prev.Len()
+	if denom == 0 {
+		denom = 1
+	}
+	st.ChangedFrac = float64(c.prev.SymmetricDiff(now)) / float64(denom)
+	if c.relaxedAt == 0 && st.ChangedFrac < c.relaxedDelta {
+		c.relaxedAt = c.episode
+	}
+	c.prev = now
+	return st, nil
+}
+
+func (c *Coordinator) coordLink(lw LinkWire) (links.Link, error) {
+	e1, ok1 := c.dict.Lookup(rdf.IRI(lw.E1))
+	e2, ok2 := c.dict.Lookup(rdf.IRI(lw.E2))
+	if !ok1 || !ok2 {
+		return links.Link{}, fmt.Errorf("cluster: unknown entity in sample %v", lw)
+	}
+	return links.Link{E1: e1, E2: e2}, nil
+}
+
+// Run iterates episodes until strict convergence or MaxEpisodes.
+func (c *Coordinator) Run(oracle feedback.Judger, onEpisode func(core.EpisodeStats)) (core.Result, error) {
+	res := core.Result{}
+	for c.episode < c.maxEpisodes {
+		st, err := c.RunEpisode(oracle)
+		if err != nil {
+			return res, err
+		}
+		res.Stats = append(res.Stats, st)
+		if onEpisode != nil {
+			onEpisode(st)
+		}
+		if st.ChangedFrac == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Episodes = c.episode
+	res.RelaxedEpisode = c.relaxedAt
+	return res, nil
+}

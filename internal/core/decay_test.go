@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"alex/internal/feedback"
+)
+
+func TestEpsilonDecayAnneals(t *testing.T) {
+	ds := smallWorld(t)
+	sys := newTestSystem(t, ds, func(c *Config) {
+		c.Epsilon = 0.5
+		c.EpsilonDecay = 0.5
+		c.EpsilonMin = 0.05
+		c.MaxEpisodes = 10
+	})
+	oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(3)))
+	for i := 0; i < 2; i++ {
+		sys.RunEpisode(oracle)
+	}
+	if got := sys.parts[0].ctrl.Epsilon(); got != 0.125 {
+		t.Fatalf("epsilon after 2 episodes = %f, want 0.125", got)
+	}
+	for i := 0; i < 6; i++ {
+		sys.RunEpisode(oracle)
+	}
+	if got := sys.parts[0].ctrl.Epsilon(); got != 0.05 {
+		t.Fatalf("epsilon floored at %f, want 0.05", got)
+	}
+}
+
+func TestEpsilonDecayDisabledByDefault(t *testing.T) {
+	ds := smallWorld(t)
+	sys := newTestSystem(t, ds, nil)
+	oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(3)))
+	sys.RunEpisode(oracle)
+	if got := sys.parts[0].ctrl.Epsilon(); got != sys.cfg.Epsilon {
+		t.Fatalf("epsilon changed without decay: %f", got)
+	}
+}
+
+func TestEpsilonDecayConvergesFaster(t *testing.T) {
+	ds := smallWorld(t)
+	run := func(mutate func(*Config)) int {
+		sys := newTestSystem(t, ds, mutate)
+		oracle := feedback.NewOracle(ds.GroundTruth, 0, rand.New(rand.NewSource(3)))
+		res := sys.Run(oracle, nil)
+		return res.Episodes
+	}
+	fixed := run(func(c *Config) { c.MaxEpisodes = 60 })
+	decayed := run(func(c *Config) { c.MaxEpisodes = 60; c.EpsilonDecay = 0.8 })
+	t.Logf("episodes: fixed ε = %d, decayed ε = %d", fixed, decayed)
+	// Annealing must not make convergence dramatically worse; it
+	// usually helps. (Exact ordering is stochastic, so allow slack.)
+	if decayed > fixed+20 {
+		t.Fatalf("decay slowed convergence badly: %d vs %d", decayed, fixed)
+	}
+}

@@ -1,0 +1,103 @@
+// Package eval computes the link-quality metrics the paper reports:
+// precision, recall and F-measure of the candidate link set against the
+// ground truth, tracked episode by episode.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"alex/internal/links"
+)
+
+// Metrics holds the quality of a candidate link set at one point in time.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Candidates and Correct are the sizes behind the ratios: |C| and |C∩G|.
+	Candidates int
+	Correct    int
+}
+
+// Compute evaluates candidates against ground truth gt: P = |C∩G|/|C|,
+// R = |C∩G|/|G|, F = 2PR/(P+R) (paper §7.1).
+func Compute(candidates, gt links.Set) Metrics {
+	correct := candidates.Intersection(gt)
+	m := Metrics{Candidates: candidates.Len(), Correct: correct}
+	if candidates.Len() > 0 {
+		m.Precision = float64(correct) / float64(candidates.Len())
+	}
+	if gt.Len() > 0 {
+		m.Recall = float64(correct) / float64(gt.Len())
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f (|C|=%d, correct=%d)",
+		m.Precision, m.Recall, m.F1, m.Candidates, m.Correct)
+}
+
+// Series is a per-episode sequence of metrics; index 0 is the initial
+// (pre-feedback) state, matching the x-axes of Figures 2-4 and 7-11.
+type Series struct {
+	Points []Metrics
+	// NegativeFeedbackPct[i] is the percentage of feedback items in
+	// episode i+1 that were negative (Figures 6b and 10c).
+	NegativeFeedbackPct []float64
+}
+
+// Append records the metrics after one more episode.
+func (s *Series) Append(m Metrics) { s.Points = append(s.Points, m) }
+
+// Last returns the most recent metrics (zero value if empty).
+func (s *Series) Last() Metrics {
+	if len(s.Points) == 0 {
+		return Metrics{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Episodes returns the number of recorded episodes (excluding point 0).
+func (s *Series) Episodes() int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return len(s.Points) - 1
+}
+
+// CSV renders the series as comma-separated values (header included),
+// ready for external plotting: episode, precision, recall, f-measure,
+// candidates, negative-feedback percentage.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("episode,precision,recall,fmeasure,candidates,negative_feedback_pct\n")
+	for i, m := range s.Points {
+		neg := ""
+		if i > 0 && i-1 < len(s.NegativeFeedbackPct) {
+			neg = fmt.Sprintf("%.2f", s.NegativeFeedbackPct[i-1])
+		}
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%d,%s\n", i, m.Precision, m.Recall, m.F1, m.Candidates, neg)
+	}
+	return b.String()
+}
+
+// Table renders the series as an aligned text table with one row per
+// episode, the format printed by cmd/alexbench.
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-10s %-8s %s\n", "episode", "precision", "recall", "f-measure", "|C|", "neg-fb%")
+	for i, m := range s.Points {
+		neg := ""
+		if i > 0 && i-1 < len(s.NegativeFeedbackPct) {
+			neg = fmt.Sprintf("%.1f", s.NegativeFeedbackPct[i-1])
+		}
+		fmt.Fprintf(&b, "%-8d %-10.3f %-10.3f %-10.3f %-8d %s\n", i, m.Precision, m.Recall, m.F1, m.Candidates, neg)
+	}
+	return b.String()
+}

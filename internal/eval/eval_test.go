@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+func l(a, b uint32) links.Link { return links.Link{E1: rdf.ID(a), E2: rdf.ID(b)} }
+
+func TestComputeBasics(t *testing.T) {
+	gt := links.NewSet(l(1, 1), l(2, 2), l(3, 3), l(4, 4))
+	cands := links.NewSet(l(1, 1), l(2, 2), l(9, 9))
+	m := Compute(cands, gt)
+	if m.Correct != 2 || m.Candidates != 3 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if math.Abs(m.Precision-2.0/3) > 1e-9 {
+		t.Errorf("P = %f", m.Precision)
+	}
+	if math.Abs(m.Recall-0.5) > 1e-9 {
+		t.Errorf("R = %f", m.Recall)
+	}
+	wantF := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if math.Abs(m.F1-wantF) > 1e-9 {
+		t.Errorf("F = %f, want %f", m.F1, wantF)
+	}
+}
+
+func TestComputeEdgeCases(t *testing.T) {
+	empty := links.NewSet()
+	gt := links.NewSet(l(1, 1))
+	m := Compute(empty, gt)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty candidates: %+v", m)
+	}
+	m = Compute(gt, empty)
+	if m.Recall != 0 {
+		t.Fatalf("empty ground truth recall = %f", m.Recall)
+	}
+	m = Compute(gt, gt)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("perfect: %+v", m)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(Metrics{Precision: 0.5})
+	s.Append(Metrics{Precision: 0.8})
+	s.NegativeFeedbackPct = append(s.NegativeFeedbackPct, 20)
+	if s.Episodes() != 1 {
+		t.Fatalf("Episodes = %d, want 1", s.Episodes())
+	}
+	if s.Last().Precision != 0.8 {
+		t.Fatalf("Last = %+v", s.Last())
+	}
+	tab := s.Table()
+	if !strings.Contains(tab, "0.800") || !strings.Contains(tab, "20.0") {
+		t.Fatalf("Table output missing data:\n%s", tab)
+	}
+	var emptySeries Series
+	if emptySeries.Episodes() != 0 || emptySeries.Last().Precision != 0 {
+		t.Fatal("empty series accessors wrong")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var s Series
+	s.Append(Metrics{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3, Candidates: 8})
+	s.Append(Metrics{Precision: 1, Recall: 1, F1: 1, Candidates: 4})
+	s.NegativeFeedbackPct = append(s.NegativeFeedbackPct, 12.5)
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "episode,precision,recall,fmeasure,candidates,negative_feedback_pct" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,1.0000,1.0000,1.0000,4,12.50" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+// Property: metrics are in [0,1] and F1 is between min and max of P,R
+// scaled harmonically (F ≤ min(... actually F ≤ both P and R is false;
+// F is ≤ max and ≥ min is false too; but F ≤ (P+R)/2 always holds).
+func TestMetricsRangeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		cands, gt := links.NewSet(), links.NewSet()
+		for _, x := range xs {
+			cands.Add(l(uint32(x%30), uint32(x/30%30)))
+		}
+		for _, y := range ys {
+			gt.Add(l(uint32(y%30), uint32(y/30%30)))
+		}
+		m := Compute(cands, gt)
+		inRange := m.Precision >= 0 && m.Precision <= 1 && m.Recall >= 0 && m.Recall <= 1 && m.F1 >= 0 && m.F1 <= 1
+		harmonic := m.F1 <= (m.Precision+m.Recall)/2+1e-9
+		return inRange && harmonic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§7 and appendices B-D). Each driver builds the
+// synthetic dataset pair for the experiment, runs the PARIS baseline to
+// obtain initial candidate links, runs ALEX with a ground-truth feedback
+// oracle, and reports the same series/rows the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"alex/internal/core"
+	"alex/internal/eval"
+	"alex/internal/feedback"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/synth"
+)
+
+// QualityRun is the outcome of one quality experiment (Figures 2-4, 8).
+type QualityRun struct {
+	Profile     synth.Profile
+	Initial     eval.Metrics
+	Final       eval.Metrics
+	Series      eval.Series
+	Result      core.Result
+	GroundTruth int
+	// Discovered counts correct links in the final candidate set that
+	// were not among the initial candidates (the "new links discovered
+	// by ALEX" numbers in §7.2).
+	Discovered int
+	BuildTime  time.Duration
+	RunTime    time.Duration
+}
+
+// Options tweaks a quality run.
+type Options struct {
+	// Scale multiplies entity counts (1.0 = full profile size).
+	Scale float64
+	// ErrRate is the incorrect-feedback probability (Appendix C).
+	ErrRate float64
+	// Mutate adjusts the ALEX config before the run.
+	Mutate func(*core.Config)
+	// Seed overrides the oracle/driver seed (0 = default).
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// RunQuality executes the standard pipeline for one profile:
+// generate → PARIS → ALEX with oracle feedback until convergence.
+func RunQuality(profileName string, opts Options) (*QualityRun, error) {
+	opts.fill()
+	prof, ok := synth.ProfileByName(profileName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown profile %q", profileName)
+	}
+	if opts.Scale != 1 {
+		prof = prof.Scale(opts.Scale)
+	}
+	return RunQualityProfile(prof, opts)
+}
+
+// RunQualityProfile is RunQuality for an explicit profile value.
+func RunQualityProfile(prof synth.Profile, opts Options) (*QualityRun, error) {
+	opts.fill()
+	ds := synth.Generate(prof)
+
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	initialSet := links.NewSet()
+	for i, s := range scored {
+		initial[i] = s.Link
+		initialSet.Add(s.Link)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.EpisodeSize = prof.EpisodeSize
+	cfg.Partitions = prof.Partitions
+	cfg.Seed = prof.Seed
+	if opts.Mutate != nil {
+		opts.Mutate(&cfg)
+	}
+
+	buildStart := time.Now()
+	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	buildTime := time.Since(buildStart)
+
+	oracle := feedback.NewOracle(ds.GroundTruth, opts.ErrRate, rand.New(rand.NewSource(opts.Seed)))
+
+	run := &QualityRun{
+		Profile:     prof,
+		GroundTruth: ds.GroundTruth.Len(),
+		BuildTime:   buildTime,
+	}
+	run.Initial = eval.Compute(sys.Candidates(), ds.GroundTruth)
+	run.Series.Append(run.Initial)
+
+	runStart := time.Now()
+	run.Result = sys.Run(oracle, func(st core.EpisodeStats) {
+		m := eval.Compute(sys.Candidates(), ds.GroundTruth)
+		run.Series.Append(m)
+		run.Series.NegativeFeedbackPct = append(run.Series.NegativeFeedbackPct, st.NegativePct())
+	})
+	run.RunTime = time.Since(runStart)
+	run.Final = run.Series.Last()
+
+	final := sys.Candidates()
+	for l := range final {
+		if ds.GroundTruth.Has(l) && !initialSet.Has(l) {
+			run.Discovered++
+		}
+	}
+	return run, nil
+}
+
+// Report renders the run in the format printed by cmd/alexbench.
+func (r *QualityRun) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s (%s)\n", r.Profile.Name, r.Profile.Description)
+	fmt.Fprintf(&b, "ground truth links: %d  episode size: %d  partitions: %d\n",
+		r.GroundTruth, r.Profile.EpisodeSize, r.Profile.Partitions)
+	fmt.Fprintf(&b, "initial (PARIS): %v\n", r.Initial)
+	fmt.Fprintf(&b, "final   (ALEX) : %v\n", r.Final)
+	fmt.Fprintf(&b, "new correct links discovered: %d\n", r.Discovered)
+	fmt.Fprintf(&b, "episodes: %d (converged=%v, relaxed<5%% at episode %d)\n",
+		r.Result.Episodes, r.Result.Converged, r.Result.RelaxedEpisode)
+	fmt.Fprintf(&b, "build %.2fs, run %.2fs (%.2fs/episode)\n",
+		r.BuildTime.Seconds(), r.RunTime.Seconds(), r.RunTime.Seconds()/maxf(1, float64(r.Result.Episodes)))
+	b.WriteString(r.Series.Table())
+	return b.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"alex/internal/core"
+)
+
+// smallOpts keeps experiment tests fast on one core.
+func smallOpts() Options {
+	return Options{
+		Scale: 0.25,
+		Mutate: func(c *core.Config) {
+			c.EpisodeSize = 200
+			c.MaxEpisodes = 12
+		},
+	}
+}
+
+func TestRunQualityUnknownProfile(t *testing.T) {
+	if _, err := RunQuality("no-such-pair", Options{}); err == nil {
+		t.Fatal("unknown profile did not error")
+	}
+}
+
+func TestRunQualityImprovesF(t *testing.T) {
+	r, err := RunQuality("opencyc-lexvo", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final.F1 <= r.Initial.F1 {
+		t.Fatalf("no improvement: %.3f -> %.3f", r.Initial.F1, r.Final.F1)
+	}
+	if r.Discovered == 0 {
+		t.Fatal("no new links discovered")
+	}
+	if len(r.Series.Points) != r.Result.Episodes+1 {
+		t.Fatalf("series has %d points for %d episodes", len(r.Series.Points), r.Result.Episodes)
+	}
+	if rep := r.Report(); !strings.Contains(rep, "profile opencyc-lexvo") {
+		t.Fatal("report missing profile header")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(0.05)
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11 dataset pairs", len(rows))
+	}
+	for _, r := range rows {
+		if r.Triples1 == 0 || r.Triples2 == 0 || r.GTLinks == 0 {
+			t.Errorf("row %s has zero counts: %+v", r.Profile, r)
+		}
+	}
+	if s := FormatTable1(rows); !strings.Contains(s, "dbpedia-nytimes") {
+		t.Fatal("formatted table missing rows")
+	}
+}
+
+func TestFig5Filtering(t *testing.T) {
+	r, err := Fig5("dbpedia-nytimes", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FilteredPairs >= r.TotalPairs {
+		t.Fatalf("no reduction: %d of %d", r.FilteredPairs, r.TotalPairs)
+	}
+	if r.ReductionPct < 50 {
+		t.Errorf("reduction = %.1f%%, want substantial (the paper reports 95%%)", r.ReductionPct)
+	}
+	if r.GroundTruth == 0 {
+		t.Error("no ground truth in partition 0")
+	}
+	if rep := r.Report(); !strings.Contains(rep, "Figure 5a") {
+		t.Fatal("report format wrong")
+	}
+}
+
+func TestFig6Blacklist(t *testing.T) {
+	c, err := Fig6Blacklist("opencyc-lexvo", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanNeg := func(r *QualityRun) float64 {
+		s := 0.0
+		for _, v := range r.Series.NegativeFeedbackPct {
+			s += v
+		}
+		if len(r.Series.NegativeFeedbackPct) == 0 {
+			return 0
+		}
+		return s / float64(len(r.Series.NegativeFeedbackPct))
+	}
+	with, without := meanNeg(c.Runs[0]), meanNeg(c.Runs[1])
+	t.Logf("negative feedback: with=%.1f%% without=%.1f%%", with, without)
+	if with > without+5 {
+		t.Errorf("blacklist increased negative feedback substantially: %.1f vs %.1f", with, without)
+	}
+	if rep := c.Report(); !strings.Contains(rep, "with blacklist") {
+		t.Fatal("report missing labels")
+	}
+}
+
+func TestFig7Rollback(t *testing.T) {
+	r, err := Fig7Rollback("opencyc-lexvo", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PartitionFinalF) == 0 {
+		t.Fatal("no per-partition data")
+	}
+	t.Logf("with rollback F=%.3f, without F=%.3f", r.WithRollback.Final.F1, r.WithoutRollback.Final.F1)
+	// The defining property: rollback should not be worse, and usually
+	// much better, than no rollback.
+	if r.WithoutRollback.Final.F1 > r.WithRollback.Final.F1+0.10 {
+		t.Errorf("rollback hurt quality: %.3f vs %.3f", r.WithRollback.Final.F1, r.WithoutRollback.Final.F1)
+	}
+	if rep := r.Report(); !strings.Contains(rep, "per-partition final F") {
+		t.Fatal("report format wrong")
+	}
+}
+
+func TestFig9IncorrectFeedback(t *testing.T) {
+	// Keep per-link feedback exposure realistic (~1 judgment per link
+	// per episode); a tiny candidate set hammered by a large episode
+	// size would see every link mis-judged several times, which no
+	// system could survive. Full profile size with a modest episode
+	// keeps the noise statistics meaningful.
+	opts := Options{Scale: 1.0, Mutate: func(c *core.Config) {
+		c.EpisodeSize = 100
+		c.MaxEpisodes = 15
+	}}
+	c, err := Fig9IncorrectFeedback("opencyc-lexvo", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, noisy := c.Runs[0], c.Runs[1]
+	t.Logf("correct F=%.3f, 10%% incorrect F=%.3f", correct.Final.F1, noisy.Final.F1)
+	// Recall must stay reasonably robust under noise (the paper's claim).
+	if noisy.Final.Recall < correct.Final.Recall-0.35 {
+		t.Errorf("recall collapsed under noise: %.3f vs %.3f", noisy.Final.Recall, correct.Final.Recall)
+	}
+}
+
+func TestFig10StepSize(t *testing.T) {
+	sw, err := Fig10StepSize("opencyc-lexvo", smallOpts(), []float64{0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	if rep := sw.Report(); !strings.Contains(rep, "step-size") {
+		t.Fatal("report format wrong")
+	}
+}
+
+func TestFig11EpisodeSize(t *testing.T) {
+	sw, err := Fig11EpisodeSize("opencyc-lexvo", Options{Scale: 0.25, Mutate: func(c *core.Config) { c.MaxEpisodes = 10 }}, []int{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := AblationPolicy("opencyc-lexvo", smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if sw, err := AblationEpsilon("opencyc-lexvo", smallOpts(), []float64{0.05, 0.3}); err != nil || len(sw.Points) != 2 {
+		t.Fatalf("epsilon sweep: %v", err)
+	}
+	if sw, err := AblationTheta("opencyc-lexvo", smallOpts(), []float64{0.3, 0.5}); err != nil || len(sw.Points) != 2 {
+		t.Fatalf("theta sweep: %v", err)
+	}
+	if sw, err := AblationRollbackThreshold("opencyc-lexvo", smallOpts(), []int{1, 10}); err != nil || len(sw.Points) != 2 {
+		t.Fatalf("rollback sweep: %v", err)
+	}
+}
+
+func TestRunQueryDrivenImprovesF(t *testing.T) {
+	r, err := RunQueryDriven("opencyc-lexvo", Options{Scale: 0.5, Mutate: func(c *core.Config) {
+		c.EpisodeSize = 150
+		c.MaxEpisodes = 25
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("query-driven: %v -> %v, discovered %d", r.Initial, r.Final, r.Discovered)
+	if r.Final.F1 <= r.Initial.F1 {
+		t.Fatalf("no improvement through the federated loop: %.3f -> %.3f", r.Initial.F1, r.Final.F1)
+	}
+	if r.Discovered == 0 {
+		t.Fatal("no links discovered through query feedback")
+	}
+}
+
+func TestRunQueryDrivenUnknownProfile(t *testing.T) {
+	if _, err := RunQueryDriven("nope", Options{}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestCrowdFeedback(t *testing.T) {
+	r, err := CrowdFeedback("opencyc-lexvo", Options{Scale: 1.0, Mutate: func(c *core.Config) {
+		c.EpisodeSize = 100
+		c.MaxEpisodes = 12
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 3 {
+		t.Fatalf("runs = %d", len(r.Runs))
+	}
+	single, crowd9 := r.Runs[0].Final, r.Runs[2].Final
+	t.Logf("single F=%.3f, crowd9 F=%.3f", single.F1, crowd9.F1)
+	// The big crowd must not be worse than the single noisy user.
+	if crowd9.F1 < single.F1-0.05 {
+		t.Fatalf("crowd voting hurt quality: %.3f vs %.3f", crowd9.F1, single.F1)
+	}
+	if rep := r.Report(); !strings.Contains(rep, "crowd of 9") {
+		t.Fatal("report format wrong")
+	}
+}
+
+func TestRunMultiSeed(t *testing.T) {
+	r, err := RunMultiSeed("opencyc-lexvo", smallOpts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.F1.N != 3 || len(r.Runs) != 3 {
+		t.Fatalf("n = %d", r.F1.N)
+	}
+	if r.F1.Mean <= 0 || r.F1.Mean > 1 {
+		t.Fatalf("mean F = %f", r.F1.Mean)
+	}
+	if r.F1.Min > r.F1.Mean || r.F1.Max < r.F1.Mean {
+		t.Fatalf("stats inconsistent: %+v", r.F1)
+	}
+	if rep := r.Report(); !strings.Contains(rep, "final F-measure") {
+		t.Fatal("report format wrong")
+	}
+	if _, err := RunMultiSeed("nope", smallOpts(), 2); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestSeedStats(t *testing.T) {
+	st := newSeedStats([]float64{1, 2, 3})
+	if st.Mean != 2 || st.Min != 1 || st.Max != 3 || st.N != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Std < 0.99 || st.Std > 1.01 {
+		t.Fatalf("std = %f, want 1", st.Std)
+	}
+	if empty := newSeedStats(nil); empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestSummarySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary runs every profile")
+	}
+	rows, err := Summary(Options{Scale: 0.15, Mutate: func(c *core.Config) {
+		c.EpisodeSize = 100
+		c.MaxEpisodes = 8
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if s := FormatSummary(rows); !strings.Contains(s, "dbpedia-nytimes") {
+		t.Fatal("format wrong")
+	}
+}
+
+func TestExecutionTime(t *testing.T) {
+	rows, err := ExecutionTime([]string{"opencyc-lexvo"}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Total <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if s := FormatTiming(rows); !strings.Contains(s, "per-episode") {
+		t.Fatal("timing format wrong")
+	}
+}

@@ -1,0 +1,225 @@
+package feature
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"alex/internal/rdf"
+	"alex/internal/similarity"
+)
+
+// fastSim is a precomputing implementation of similarity.SpaceSim used
+// when Options.Sim is left nil: every term is classified and tokenized
+// once, so the per-pair cost during space construction is two sorted
+// array intersections instead of repeated string processing.
+type fastSim struct {
+	d     *rdf.Dict
+	cache map[rdf.ID]*termSig
+}
+
+type termKind uint8
+
+const (
+	sigString termKind = iota
+	sigNumber
+	sigDate
+	sigIRI
+)
+
+type termSig struct {
+	kind termKind
+	num  float64  // numeric value, or date as fractional days
+	norm string   // normalized string form
+	tri  []uint32 // sorted unique trigram hashes
+	tok  []uint32 // sorted unique token hashes
+}
+
+func newFastSim(d *rdf.Dict) *fastSim {
+	return &fastSim{d: d, cache: make(map[rdf.ID]*termSig)}
+}
+
+func (f *fastSim) sig(id rdf.ID) *termSig {
+	if s, ok := f.cache[id]; ok {
+		return s
+	}
+	s := buildSig(f.d.Term(id))
+	f.cache[id] = s
+	return s
+}
+
+var dateLayouts = []string{"2006-01-02", "2006-01-02T15:04:05", "2006"}
+
+func buildSig(t rdf.Term) *termSig {
+	s := &termSig{}
+	raw := t.Value
+	if t.IsIRI() || t.IsBlank() {
+		s.kind = sigIRI
+		raw = t.LocalName()
+	} else {
+		switch t.EffectiveDatatype() {
+		case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+			if v, err := strconv.ParseFloat(raw, 64); err == nil {
+				s.kind = sigNumber
+				s.num = v
+				return s
+			}
+		case rdf.XSDDate, rdf.XSDDateTime:
+			if d, ok := parseAnyDate(raw); ok {
+				s.kind = sigDate
+				s.num = float64(d.Unix()) / 86400
+				return s
+			}
+		case rdf.XSDString:
+			// plain literal: sniff the lexical form
+			if v, err := strconv.ParseFloat(raw, 64); err == nil {
+				s.kind = sigNumber
+				s.num = v
+				return s
+			}
+			if d, ok := parseAnyDate(raw); ok {
+				s.kind = sigDate
+				s.num = float64(d.Unix()) / 86400
+				return s
+			}
+		}
+	}
+	s.norm = similarity.Normalize(raw)
+	s.tri = trigramHashes(s.norm)
+	s.tok = tokenHashes(s.norm)
+	return s
+}
+
+func parseAnyDate(v string) (time.Time, bool) {
+	for _, layout := range dateLayouts {
+		if d, err := time.Parse(layout, v); err == nil {
+			return d, true
+		}
+	}
+	return time.Time{}, false
+}
+
+const fnvOffset, fnvPrime = 2166136261, 16777619
+
+func fnvAdd(h uint32, b byte) uint32 { return (h ^ uint32(b)) * fnvPrime }
+
+func trigramHashes(norm string) []uint32 {
+	if norm == "" {
+		return nil
+	}
+	padded := "  " + norm + " "
+	out := make([]uint32, 0, len(padded))
+	for i := 0; i+3 <= len(padded); i++ {
+		h := uint32(fnvOffset)
+		h = fnvAdd(h, padded[i])
+		h = fnvAdd(h, padded[i+1])
+		h = fnvAdd(h, padded[i+2])
+		out = append(out, h)
+	}
+	return dedupSorted(out)
+}
+
+func tokenHashes(norm string) []uint32 {
+	var out []uint32
+	h := uint32(fnvOffset)
+	inTok := false
+	for i := 0; i < len(norm); i++ {
+		if norm[i] == ' ' {
+			if inTok {
+				out = append(out, h)
+				h = fnvOffset
+				inTok = false
+			}
+			continue
+		}
+		h = fnvAdd(h, norm[i])
+		inTok = true
+	}
+	if inTok {
+		out = append(out, h)
+	}
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []uint32) []uint32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// jaccardSorted computes |a∩b| / |a∪b| over sorted unique slices.
+func jaccardSorted(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// sim mirrors similarity.SpaceSim over precomputed signatures.
+func (f *fastSim) sim(o1, o2 rdf.ID) float64 {
+	if o1 == o2 {
+		return 1
+	}
+	a, b := f.sig(o1), f.sig(o2)
+	switch {
+	case a.kind == sigDate && b.kind == sigDate:
+		d := a.num - b.num
+		if d < 0 {
+			d = -d
+		}
+		if d >= 365 {
+			return 0
+		}
+		return 1 - d/365
+	case a.kind == sigNumber && b.kind == sigNumber:
+		d := a.num - b.num
+		if d < 0 {
+			d = -d
+		}
+		if d >= 10 {
+			return 0
+		}
+		return 1 - d/10
+	case a.kind == sigDate || b.kind == sigDate || a.kind == sigNumber || b.kind == sigNumber:
+		return 0
+	case a.kind == sigIRI != (b.kind == sigIRI):
+		return 0
+	default:
+		if a.norm == b.norm {
+			if a.norm == "" {
+				return 0
+			}
+			return 1
+		}
+		tg := jaccardSorted(a.tri, b.tri)
+		tk := jaccardSorted(a.tok, b.tok)
+		if tk > tg {
+			return tk
+		}
+		return tg
+	}
+}

@@ -1,0 +1,114 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"alex/internal/rdf"
+	"alex/internal/similarity"
+)
+
+// TestFastSimMatchesSpaceSim verifies the precomputing fast path agrees
+// with the reference similarity.SpaceSim on a broad set of term pairs.
+func TestFastSimMatchesSpaceSim(t *testing.T) {
+	terms := []rdf.Term{
+		rdf.Literal("LeBron James"),
+		rdf.Literal("James, LeBron"),
+		rdf.Literal("Kevin Durant"),
+		rdf.Literal("kevin  durant"),
+		rdf.Literal("Zinedine Zidane"),
+		rdf.Literal(""),
+		rdf.Literal("42"),
+		rdf.Literal("45"),
+		rdf.Literal("1984-12-30"),
+		rdf.Literal("1984-12-31"),
+		rdf.Literal("1994-12-30"),
+		rdf.TypedLiteral("1984-12-30", rdf.XSDDate),
+		rdf.TypedLiteral("7", rdf.XSDInteger),
+		rdf.TypedLiteral("7.5", rdf.XSDDecimal),
+		rdf.IRI("http://x.org/LeBron_James"),
+		rdf.IRI("http://y.org/LeBron_James"),
+		rdf.IRI("http://y.org/Tim_Duncan"),
+		rdf.Literal("Thing"),
+	}
+	d := rdf.NewDict()
+	ids := make([]rdf.ID, len(terms))
+	for i, tm := range terms {
+		ids[i] = d.Intern(tm)
+	}
+	fs := newFastSim(d)
+	for i, a := range terms {
+		for j, b := range terms {
+			want := similarity.SpaceSim(a, b)
+			got := fs.sim(ids[i], ids[j])
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("sim(%v, %v): fast=%f reference=%f", a, b, got, want)
+			}
+		}
+	}
+}
+
+// Property: fastSim is symmetric, in [0,1], and 1 on identical IDs.
+func TestFastSimProperties(t *testing.T) {
+	d := rdf.NewDict()
+	fs := newFastSim(d)
+	prop := func(a, b string) bool {
+		ia := d.Intern(rdf.Literal(a))
+		ib := d.Intern(rdf.Literal(b))
+		x := fs.sim(ia, ib)
+		y := fs.sim(ib, ia)
+		return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9 && fs.sim(ia, ia) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardSorted(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]uint32{1}, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 1},
+		{[]uint32{1, 2}, []uint32{2, 3}, 1.0 / 3},
+		{[]uint32{1}, []uint32{2}, 0},
+	}
+	for _, c := range cases {
+		if got := jaccardSorted(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("jaccardSorted(%v,%v) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDedupSorted(t *testing.T) {
+	got := dedupSorted([]uint32{5, 1, 5, 3, 1})
+	want := []uint32{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("dedupSorted = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupSorted = %v, want %v", got, want)
+		}
+	}
+	if out := dedupSorted(nil); len(out) != 0 {
+		t.Fatal("dedupSorted(nil) not empty")
+	}
+}
+
+func BenchmarkFastSimNames(b *testing.B) {
+	d := rdf.NewDict()
+	fs := newFastSim(d)
+	var ids []rdf.ID
+	for i := 0; i < 200; i++ {
+		ids = append(ids, d.Intern(rdf.Literal(fmt.Sprintf("Person Number %d Lastname%d", i, i*7%100))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.sim(ids[i%200], ids[(i*31)%200])
+	}
+}

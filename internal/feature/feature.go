@@ -1,0 +1,255 @@
+// Package feature builds and indexes the space of candidate links that
+// ALEX explores (paper §4.1-4.2). A link between two entities is
+// represented by a feature set: for each pair of predicates (one from
+// each entity) the similarity score of their values. Scores below a
+// threshold θ are discarded, and pairs whose feature sets become empty
+// are dropped from the space entirely (§6.1, "filtering to reduce the
+// search space").
+//
+// The space answers the exploration query at the heart of ALEX's action:
+// "all links whose feature (p1, p2) has a score within [lo, hi]", served
+// by a per-feature sorted index in O(log n + answers).
+package feature
+
+import (
+	"sort"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// Key identifies a feature: a predicate of dataset 1 paired with a
+// predicate of dataset 2.
+type Key struct {
+	P1, P2 rdf.ID
+}
+
+// Feature is one element of a state feature set.
+type Feature struct {
+	Key   Key
+	Score float64
+}
+
+// Set is a link's state feature set, ordered by (P1, P2).
+type Set []Feature
+
+// Score returns the score of the feature with the given key, or -1 if
+// the feature is not part of the set.
+func (s Set) Score(k Key) float64 {
+	for _, f := range s {
+		if f.Key == k {
+			return f.Score
+		}
+	}
+	return -1
+}
+
+// Keys returns the feature keys of the set, which are the actions
+// available at this state (§4.2).
+func (s Set) Keys() []Key {
+	out := make([]Key, len(s))
+	for i, f := range s {
+		out[i] = f.Key
+	}
+	return out
+}
+
+// Options configures space construction.
+type Options struct {
+	// Theta is the similarity threshold below which feature values are
+	// discarded (paper default 0.3).
+	Theta float64
+	// Sim compares two attribute values. When nil, a precomputing
+	// implementation of similarity.SpaceSim is used, which is
+	// substantially faster for large cross products.
+	Sim func(a, b rdf.Term) float64
+}
+
+func (o *Options) fill() {
+	if o.Theta == 0 {
+		o.Theta = 0.3
+	}
+}
+
+type scoredPair struct {
+	score float64
+	link  links.Link
+}
+
+// Space is the (filtered) space of possible links between a set of
+// dataset-1 entities and a set of dataset-2 entities.
+type Space struct {
+	sets  map[links.Link]Set
+	index map[Key][]scoredPair // sorted ascending by score
+	// TotalPairs is the unfiltered size |E1|×|E2| (Figure 5a).
+	TotalPairs int
+}
+
+// Build constructs the space for the cross product of entities1 (from
+// g1) and entities2 (from g2). Both graphs must share one dictionary.
+func Build(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, opts Options) *Space {
+	opts.fill()
+	sp := &Space{
+		sets:       make(map[links.Link]Set),
+		index:      make(map[Key][]scoredPair),
+		TotalPairs: len(entities1) * len(entities2),
+	}
+	d := g1.Dict()
+
+	// Pre-materialize entity attribute lists once.
+	attrs2 := make([][]rdf.Attribute, len(entities2))
+	for i, e2 := range entities2 {
+		attrs2[i] = g2.Entity(e2)
+	}
+
+	var sim func(o1, o2 rdf.ID) float64
+	if opts.Sim == nil {
+		fs := newFastSim(d)
+		sim = fs.sim
+	} else {
+		simCache := make(map[[2]rdf.ID]float64)
+		sim = func(o1, o2 rdf.ID) float64 {
+			k := [2]rdf.ID{o1, o2}
+			if v, ok := simCache[k]; ok {
+				return v
+			}
+			v := opts.Sim(d.Term(o1), d.Term(o2))
+			simCache[k] = v
+			return v
+		}
+	}
+
+	for _, e1 := range entities1 {
+		a1 := g1.Entity(e1)
+		if len(a1) == 0 {
+			continue
+		}
+		for i2, e2 := range entities2 {
+			a2 := attrs2[i2]
+			if len(a2) == 0 {
+				continue
+			}
+			set := buildSet(a1, a2, opts.Theta, sim)
+			if len(set) == 0 {
+				continue
+			}
+			l := links.Link{E1: e1, E2: e2}
+			sp.sets[l] = set
+			for _, f := range set {
+				sp.index[f.Key] = append(sp.index[f.Key], scoredPair{score: f.Score, link: l})
+			}
+		}
+	}
+	for k := range sp.index {
+		ps := sp.index[k]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].score < ps[j].score })
+	}
+	return sp
+}
+
+// buildSet computes the similarity matrix between the two attribute
+// lists, discards entries below θ, and reduces to the state feature set
+// by keeping the maximum per row if the first entity has more attributes
+// than the second, otherwise the maximum per column (§4.1).
+func buildSet(a1, a2 []rdf.Attribute, theta float64, sim func(o1, o2 rdf.ID) float64) Set {
+	type cell struct {
+		key   Key
+		score float64
+	}
+	var cells []cell
+	for _, x := range a1 {
+		for _, y := range a2 {
+			s := sim(x.Obj, y.Obj)
+			if s < theta {
+				continue
+			}
+			cells = append(cells, cell{key: Key{P1: x.Pred, P2: y.Pred}, score: s})
+		}
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	// Row = dataset-1 predicate, column = dataset-2 predicate.
+	groupByRow := len(a1) > len(a2)
+	best := make(map[rdf.ID]cell)
+	for _, c := range cells {
+		g := c.key.P1
+		if !groupByRow {
+			g = c.key.P2
+		}
+		if cur, ok := best[g]; !ok || c.score > cur.score {
+			best[g] = c
+		}
+	}
+	set := make(Set, 0, len(best))
+	for _, c := range best {
+		set = append(set, Feature{Key: c.key, Score: c.score})
+	}
+	sort.Slice(set, func(i, j int) bool {
+		if set[i].Key.P1 != set[j].Key.P1 {
+			return set[i].Key.P1 < set[j].Key.P1
+		}
+		return set[i].Key.P2 < set[j].Key.P2
+	})
+	return set
+}
+
+// FeatureSet returns the feature set of a link in the space (nil if the
+// link was filtered out or never existed).
+func (sp *Space) FeatureSet(l links.Link) Set { return sp.sets[l] }
+
+// Contains reports whether the link survived filtering.
+func (sp *Space) Contains(l links.Link) bool {
+	_, ok := sp.sets[l]
+	return ok
+}
+
+// Len returns the number of links in the filtered space (Figure 5a).
+func (sp *Space) Len() int { return len(sp.sets) }
+
+// Links returns all links in the space in unspecified order.
+func (sp *Space) Links() []links.Link {
+	out := make([]links.Link, 0, len(sp.sets))
+	for l := range sp.sets {
+		out = append(out, l)
+	}
+	return out
+}
+
+// FindInRange returns every link whose feature k has a score in
+// [lo, hi]. This is the exploration primitive behind ALEX's actions
+// (§4.2: links with similarity between sf−af and sf+af).
+func (sp *Space) FindInRange(k Key, lo, hi float64) []links.Link {
+	ps := sp.index[k]
+	start := sort.Search(len(ps), func(i int) bool { return ps[i].score >= lo })
+	var out []links.Link
+	for i := start; i < len(ps) && ps[i].score <= hi; i++ {
+		out = append(out, ps[i].link)
+	}
+	return out
+}
+
+// CountInRange returns the number of links FindInRange would return.
+func (sp *Space) CountInRange(k Key, lo, hi float64) int {
+	ps := sp.index[k]
+	start := sort.Search(len(ps), func(i int) bool { return ps[i].score >= lo })
+	end := sort.Search(len(ps), func(i int) bool { return ps[i].score > hi })
+	if end < start {
+		return 0
+	}
+	return end - start
+}
+
+// PartitionRoundRobin splits entities into n equal-size partitions in a
+// round-robin fashion: the i-th entity goes to partition i mod n
+// (§6.2, "equal-size partitioning").
+func PartitionRoundRobin(entities []rdf.ID, n int) [][]rdf.ID {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]rdf.ID, n)
+	for i, e := range entities {
+		out[i%n] = append(out[i%n], e)
+	}
+	return out
+}

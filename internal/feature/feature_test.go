@@ -1,0 +1,239 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// twoDatasets builds two small graphs over a shared dictionary:
+// dataset 1 people with label/birth, dataset 2 people with name/born.
+func twoDatasets() (g1, g2 *rdf.Graph, d *rdf.Dict) {
+	d = rdf.NewDict()
+	g1 = rdf.NewGraphWithDict(d)
+	g2 = rdf.NewGraphWithDict(d)
+
+	p1 := func(s, p, o string) {
+		g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/" + s), P: rdf.IRI("http://ds1/" + p), O: rdf.Literal(o)})
+	}
+	p2 := func(s, p, o string) {
+		g2.Insert(rdf.Triple{S: rdf.IRI("http://ds2/" + s), P: rdf.IRI("http://ds2/" + p), O: rdf.Literal(o)})
+	}
+	p1("a", "label", "LeBron James")
+	p1("a", "birth", "1984-12-30")
+	p1("b", "label", "Kevin Durant")
+	p1("b", "birth", "1988-09-29")
+
+	p2("x", "name", "LeBron James")
+	p2("x", "born", "1984-12-30")
+	p2("y", "name", "Kevin Durant")
+	p2("y", "born", "1988-09-29")
+	p2("z", "name", "Zinedine Zidane")
+	p2("z", "born", "1972-06-23")
+	return g1, g2, d
+}
+
+func id(d *rdf.Dict, iri string) rdf.ID {
+	v, ok := d.Lookup(rdf.IRI(iri))
+	if !ok {
+		panic("missing " + iri)
+	}
+	return v
+}
+
+func TestBuildSpaceBasics(t *testing.T) {
+	g1, g2, d := twoDatasets()
+	sp := Build(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), Options{Theta: 0.5})
+
+	if sp.TotalPairs != 6 {
+		t.Fatalf("TotalPairs = %d, want 6", sp.TotalPairs)
+	}
+	la := links.Link{E1: id(d, "http://ds1/a"), E2: id(d, "http://ds2/x")}
+	if !sp.Contains(la) {
+		t.Fatal("space is missing the correct pair (a,x)")
+	}
+	set := sp.FeatureSet(la)
+	k := Key{P1: id(d, "http://ds1/label"), P2: id(d, "http://ds2/name")}
+	if got := set.Score(k); got != 1 {
+		t.Fatalf("label/name score = %f, want 1", got)
+	}
+}
+
+func TestBuildSpaceFiltersEmptySets(t *testing.T) {
+	g1, g2, d := twoDatasets()
+	sp := Build(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), Options{Theta: 0.95})
+	// With a high θ only near-identical value pairs survive; (a,z) and
+	// (b,z) should have been dropped entirely.
+	bad := links.Link{E1: id(d, "http://ds1/a"), E2: id(d, "http://ds2/z")}
+	if sp.Contains(bad) {
+		t.Fatal("pair with no strong feature was not filtered")
+	}
+	if sp.Len() >= sp.TotalPairs {
+		t.Fatalf("filtering removed nothing: %d of %d", sp.Len(), sp.TotalPairs)
+	}
+}
+
+func TestFindInRange(t *testing.T) {
+	g1, g2, d := twoDatasets()
+	sp := Build(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), Options{Theta: 0.3})
+	k := Key{P1: id(d, "http://ds1/label"), P2: id(d, "http://ds2/name")}
+
+	got := sp.FindInRange(k, 0.95, 1.0)
+	if len(got) != 2 {
+		t.Fatalf("FindInRange(0.95,1.0) = %d links, want 2 exact name matches", len(got))
+	}
+	if n := sp.CountInRange(k, 0.95, 1.0); n != 2 {
+		t.Fatalf("CountInRange = %d, want 2", n)
+	}
+	if n := sp.CountInRange(k, 2.0, 3.0); n != 0 {
+		t.Fatalf("CountInRange outside domain = %d, want 0", n)
+	}
+	if n := sp.CountInRange(k, 0.9, 0.5); n != 0 {
+		t.Fatalf("CountInRange inverted = %d, want 0", n)
+	}
+}
+
+func TestFindInRangeMatchesLinearScan(t *testing.T) {
+	g1, g2, _ := twoDatasets()
+	sp := Build(g1, g2, g1.SubjectIDs(), g2.SubjectIDs(), Options{Theta: 0.1})
+	for k := range sp.index {
+		for _, window := range [][2]float64{{0, 1}, {0.4, 0.8}, {0.9, 1.0}} {
+			want := 0
+			for _, l := range sp.Links() {
+				s := sp.FeatureSet(l).Score(k)
+				if s >= window[0] && s <= window[1] {
+					want++
+				}
+			}
+			if got := len(sp.FindInRange(k, window[0], window[1])); got != want {
+				t.Errorf("key %v window %v: FindInRange = %d, scan = %d", k, window, got, want)
+			}
+		}
+	}
+}
+
+func TestSetKeysAndMissingScore(t *testing.T) {
+	s := Set{{Key: Key{P1: 1, P2: 2}, Score: 0.7}, {Key: Key{P1: 3, P2: 4}, Score: 0.9}}
+	if len(s.Keys()) != 2 {
+		t.Fatalf("Keys = %v", s.Keys())
+	}
+	if got := s.Score(Key{P1: 9, P2: 9}); got != -1 {
+		t.Fatalf("missing feature score = %f, want -1", got)
+	}
+}
+
+func TestRowColumnMaxReduction(t *testing.T) {
+	// Entity 1 has 3 attributes, entity 2 has 1: n > m means one feature
+	// per dataset-1 predicate (row max).
+	d := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(d)
+	g2 := rdf.NewGraphWithDict(d)
+	g1.Insert(rdf.Triple{S: rdf.IRI("e1"), P: rdf.IRI("p1"), O: rdf.Literal("alpha")})
+	g1.Insert(rdf.Triple{S: rdf.IRI("e1"), P: rdf.IRI("p2"), O: rdf.Literal("alpha")})
+	g1.Insert(rdf.Triple{S: rdf.IRI("e1"), P: rdf.IRI("p3"), O: rdf.Literal("alpha")})
+	g2.Insert(rdf.Triple{S: rdf.IRI("e2"), P: rdf.IRI("q1"), O: rdf.Literal("alpha")})
+
+	sp := Build(g1, g2, []rdf.ID{mustID(d, "e1")}, []rdf.ID{mustID(d, "e2")}, Options{Theta: 0.3})
+	set := sp.FeatureSet(links.Link{E1: mustID(d, "e1"), E2: mustID(d, "e2")})
+	if len(set) != 3 {
+		t.Fatalf("row-max reduction produced %d features, want 3 (one per row)", len(set))
+	}
+
+	// Reverse: entity 1 has 1 attribute, entity 2 has 3: column max.
+	sp2 := Build(g2, g1, []rdf.ID{mustID(d, "e2")}, []rdf.ID{mustID(d, "e1")}, Options{Theta: 0.3})
+	set2 := sp2.FeatureSet(links.Link{E1: mustID(d, "e2"), E2: mustID(d, "e1")})
+	if len(set2) != 3 {
+		t.Fatalf("column-max reduction produced %d features, want 3", len(set2))
+	}
+}
+
+func mustID(d *rdf.Dict, iri string) rdf.ID {
+	v, ok := d.Lookup(rdf.IRI(iri))
+	if !ok {
+		panic("missing " + iri)
+	}
+	return v
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	ents := make([]rdf.ID, 10)
+	for i := range ents {
+		ents[i] = rdf.ID(i + 1)
+	}
+	parts := PartitionRoundRobin(ents, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	sizes := []int{len(parts[0]), len(parts[1]), len(parts[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v, want [4 3 3]", sizes)
+	}
+	// entity i goes to partition i mod n
+	if parts[1][0] != rdf.ID(2) {
+		t.Fatalf("round-robin placement wrong: %v", parts[1])
+	}
+	// degenerate n
+	if got := PartitionRoundRobin(ents, 0); len(got) != 1 || len(got[0]) != 10 {
+		t.Fatalf("n=0 should yield a single partition")
+	}
+}
+
+// Property: round-robin partitioning preserves all entities exactly once
+// and sizes differ by at most one.
+func TestPartitionProperty(t *testing.T) {
+	f := func(count uint8, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		ents := make([]rdf.ID, count)
+		for i := range ents {
+			ents[i] = rdf.ID(i + 1)
+		}
+		parts := PartitionRoundRobin(ents, n)
+		seen := map[rdf.ID]bool{}
+		minSize, maxSize := int(count), 0
+		for _, p := range parts {
+			if len(p) < minSize {
+				minSize = len(p)
+			}
+			if len(p) > maxSize {
+				maxSize = len(p)
+			}
+			for _, e := range p {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		return len(seen) == int(count) && (count == 0 || maxSize-minSize <= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildSpace(b *testing.B) {
+	d := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(d)
+	g2 := rdf.NewGraphWithDict(d)
+	for i := 0; i < 100; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://ds1/e%d", i))
+		g1.Insert(rdf.Triple{S: s, P: rdf.IRI("http://ds1/label"), O: rdf.Literal(fmt.Sprintf("entity number %d", i))})
+		g1.Insert(rdf.Triple{S: s, P: rdf.IRI("http://ds1/num"), O: rdf.Literal(fmt.Sprintf("%d", i))})
+	}
+	for i := 0; i < 100; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://ds2/e%d", i))
+		g2.Insert(rdf.Triple{S: s, P: rdf.IRI("http://ds2/name"), O: rdf.Literal(fmt.Sprintf("entity number %d", i))})
+		g2.Insert(rdf.Triple{S: s, P: rdf.IRI("http://ds2/num"), O: rdf.Literal(fmt.Sprintf("%d", i))})
+	}
+	e1, e2 := g1.SubjectIDs(), g2.SubjectIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Build(g1, g2, e1, e2, Options{Theta: 0.3})
+		if sp.Len() == 0 {
+			b.Fatal("empty space")
+		}
+	}
+}

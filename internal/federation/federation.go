@@ -1,0 +1,423 @@
+// Package federation implements a federated SPARQL query processor over
+// multiple RDF sources connected by owl:sameAs links, in the role FedX
+// plays in the paper (§3.2, Figure 1). A query's basic graph pattern is
+// matched across all sources; when a variable bound to an entity of one
+// source must join with a pattern in another source, the join crosses a
+// sameAs link, and the answer row records every link it used. Approving
+// or rejecting an answer therefore becomes approving or rejecting those
+// links — the feedback signal ALEX consumes.
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+)
+
+// Source is a named dataset participating in the federation.
+type Source struct {
+	Name  string
+	Graph *rdf.Graph
+}
+
+// Row is one federated answer: variable bindings plus the sameAs links
+// used to produce it.
+type Row struct {
+	Binding sparql.Binding
+	Used    links.Set
+}
+
+// ResultSet holds federated query solutions. For ASK queries Rows is
+// empty and Ask carries the answer.
+type ResultSet struct {
+	Vars []string
+	Rows []Row
+	Ask  bool
+}
+
+// FeedbackSink receives link-level feedback derived from answer-level
+// feedback. core.System satisfies this interface.
+type FeedbackSink interface {
+	Feedback(l links.Link, positive bool)
+}
+
+// Federator evaluates queries across sources joined by sameAs links.
+type Federator struct {
+	dict    *rdf.Dict
+	sources []Source
+	// same maps an entity to its sameAs edges. Each edge keeps the
+	// canonical Link (E1 from the first dataset) for provenance.
+	same map[rdf.ID][]edge
+	// predSources is the source-selection index (the role FedX's SPARQL
+	// ASK probes play): for each predicate ID, which sources hold at
+	// least one triple with it. Patterns with a bound predicate are
+	// only evaluated against relevant sources.
+	predSources map[rdf.ID][]int
+}
+
+type edge struct {
+	other rdf.ID
+	link  links.Link
+}
+
+// New returns a federator over the given shared dictionary.
+func New(dict *rdf.Dict) *Federator {
+	return &Federator{
+		dict:        dict,
+		same:        make(map[rdf.ID][]edge),
+		predSources: make(map[rdf.ID][]int),
+	}
+}
+
+// AddSource registers a dataset. All sources must share the federator's
+// dictionary so that term IDs are comparable. The source's predicates
+// are indexed for source selection; triples inserted into the graph
+// after registration with previously unseen predicates are not visible
+// to the index (re-register to refresh).
+func (f *Federator) AddSource(name string, g *rdf.Graph) error {
+	if g.Dict() != f.dict {
+		return fmt.Errorf("federation: source %q does not share the federator dictionary", name)
+	}
+	idx := len(f.sources)
+	f.sources = append(f.sources, Source{Name: name, Graph: g})
+	for _, p := range g.PredicateIDs() {
+		f.predSources[p] = append(f.predSources[p], idx)
+	}
+	return nil
+}
+
+// Sources returns the registered sources.
+func (f *Federator) Sources() []Source { return f.sources }
+
+// SetLinks replaces the sameAs link set. Call it again whenever ALEX's
+// candidate set changes.
+func (f *Federator) SetLinks(ls links.Set) {
+	f.same = make(map[rdf.ID][]edge, 2*ls.Len())
+	for _, l := range ls.Slice() {
+		f.same[l.E1] = append(f.same[l.E1], edge{other: l.E2, link: l})
+		f.same[l.E2] = append(f.same[l.E2], edge{other: l.E1, link: l})
+	}
+}
+
+// LinkCount returns the number of distinct sameAs links installed.
+func (f *Federator) LinkCount() int {
+	n := 0
+	for id, edges := range f.same {
+		for _, e := range edges {
+			if e.link.E1 == id {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Query parses and evaluates a federated SELECT query.
+func (f *Federator) Query(query string) (*ResultSet, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.Eval(q)
+}
+
+// Eval evaluates a parsed query across the federation.
+func (f *Federator) Eval(q *sparql.Query) (*ResultSet, error) {
+	if len(f.sources) == 0 {
+		return nil, fmt.Errorf("federation: no sources registered")
+	}
+	rows, err := f.evalGroup(q.Where, []Row{{Binding: sparql.Binding{}, Used: links.NewSet()}})
+	if err != nil {
+		return nil, err
+	}
+	// Project/sort/limit via the sparql engine, keeping Used aligned by
+	// evaluating on indices.
+	bindings := make([]sparql.Binding, len(rows))
+	for i, r := range rows {
+		bindings[i] = r.Binding
+	}
+	res, err := sparql.Finalize(q, bindings)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == sparql.FormAsk {
+		return &ResultSet{Ask: res.Ask}, nil
+	}
+	out := &ResultSet{Vars: res.Vars}
+	if len(q.Aggregates) > 0 {
+		// An aggregate row depends on every solution that fed its
+		// group; attributing provenance per group would need the
+		// grouping keys of each input row, so attach the union — any
+		// feedback on an aggregate answer concerns all links that
+		// contributed to it.
+		all := links.NewSet()
+		for _, r := range rows {
+			for l := range r.Used {
+				all.Add(l)
+			}
+		}
+		for _, b := range res.Rows {
+			out.Rows = append(out.Rows, Row{Binding: b, Used: all.Clone()})
+		}
+		return out, nil
+	}
+	// Re-associate provenance: Finalize may reorder, deduplicate and
+	// slice; match rows by identity of the projected bindings.
+	used := make(map[string]links.Set)
+	for i, b := range bindings {
+		k := projectionKey(res.Vars, b)
+		if prev, ok := used[k]; ok {
+			// merge provenance of duplicate solutions
+			for l := range rows[i].Used {
+				prev.Add(l)
+			}
+		} else {
+			used[k] = rows[i].Used.Clone()
+		}
+	}
+	for _, b := range res.Rows {
+		k := projectionKey(res.Vars, b)
+		u := used[k]
+		if u == nil {
+			u = links.NewSet()
+		}
+		out.Rows = append(out.Rows, Row{Binding: b, Used: u})
+	}
+	return out, nil
+}
+
+func projectionKey(vars []string, b sparql.Binding) string {
+	key := ""
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			key += t.String()
+		}
+		key += "\x00"
+	}
+	return key
+}
+
+func (f *Federator) evalGroup(grp *sparql.GroupGraphPattern, input []Row) ([]Row, error) {
+	rows := input
+
+	patterns := append([]sparql.TriplePattern(nil), grp.Triples...)
+	for _, tp := range patterns {
+		var next []Row
+		for _, r := range rows {
+			f.matchPattern(tp, r, func(nr Row) {
+				next = append(next, nr)
+			})
+		}
+		rows = next
+		if len(rows) == 0 {
+			break
+		}
+	}
+
+	for _, alts := range grp.Unions {
+		var merged []Row
+		for _, alt := range alts {
+			sub, err := f.evalGroup(alt, rows)
+			if err != nil {
+				return nil, err
+			}
+			merged = append(merged, sub...)
+		}
+		rows = merged
+	}
+
+	for _, opt := range grp.Optionals {
+		var next []Row
+		for _, r := range rows {
+			sub, err := f.evalGroup(opt, []Row{r})
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				next = append(next, r)
+			} else {
+				next = append(next, sub...)
+			}
+		}
+		rows = next
+	}
+
+	for _, flt := range grp.Filters {
+		var kept []Row
+		for _, r := range rows {
+			v, err := flt.Eval(r.Binding)
+			if err != nil {
+				continue
+			}
+			if ok, err := sparql.EffectiveBool(v); err == nil && ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// matchPattern matches tp against the relevant sources, extending row.
+// When a bound entity does not occur in a source, its sameAs
+// equivalents are tried, and any equivalence used is recorded in the
+// row's provenance. Source selection: a pattern whose predicate is a
+// constant (or a variable already bound) only visits sources holding
+// that predicate.
+func (f *Federator) matchPattern(tp sparql.TriplePattern, row Row, emit func(Row)) {
+	if srcs, ok := f.selectSources(tp.P, row.Binding); ok {
+		for _, si := range srcs {
+			f.matchInSource(f.sources[si].Graph, tp, row, emit)
+		}
+		return
+	}
+	for _, src := range f.sources {
+		f.matchInSource(src.Graph, tp, row, emit)
+	}
+}
+
+// selectSources returns the candidate source indexes for a predicate
+// node; ok is false when the predicate is unbound (all sources apply).
+func (f *Federator) selectSources(p sparql.Node, b sparql.Binding) ([]int, bool) {
+	var t rdf.Term
+	if p.IsVar {
+		bound, isBound := b[p.Var]
+		if !isBound {
+			return nil, false
+		}
+		t = bound
+	} else {
+		t = p.Term
+	}
+	id, ok := f.dict.Lookup(t)
+	if !ok {
+		return nil, true // unknown predicate: no source can match
+	}
+	return f.predSources[id], true
+}
+
+type resolved struct {
+	id   rdf.ID
+	have bool
+	link *links.Link // non-nil when resolving crossed a sameAs edge
+}
+
+// resolutions returns the ways a pattern node can be bound in graph g
+// under the row's bindings: directly, or through each sameAs equivalent
+// present in g. An unbound node yields a single wildcard resolution.
+func (f *Federator) resolutions(g *rdf.Graph, n sparql.Node, b sparql.Binding) []resolved {
+	var t rdf.Term
+	if n.IsVar {
+		bound, ok := b[n.Var]
+		if !ok {
+			return []resolved{{have: false}}
+		}
+		t = bound
+	} else {
+		t = n.Term
+	}
+	var out []resolved
+	if id, ok := g.Dict().Lookup(t); ok {
+		// The term is known to the shared dictionary; it may still not
+		// occur in this source, but direct matching will simply find
+		// nothing, which is correct.
+		out = append(out, resolved{id: id, have: true})
+		// Entity terms additionally resolve through sameAs links.
+		if t.IsIRI() {
+			for _, e := range f.same[id] {
+				e := e
+				out = append(out, resolved{id: e.other, have: true, link: &e.link})
+			}
+		}
+	}
+	if len(out) == 0 {
+		// Unknown term: no resolution matches anything.
+		return nil
+	}
+	return out
+}
+
+func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row Row, emit func(Row)) {
+	ss := f.resolutions(g, tp.S, row.Binding)
+	ps := f.resolutions(g, tp.P, row.Binding)
+	os := f.resolutions(g, tp.O, row.Binding)
+	for _, rs := range ss {
+		for _, rp := range ps {
+			for _, ro := range os {
+				f.matchResolved(g, tp, row, rs, rp, ro, emit)
+			}
+		}
+	}
+}
+
+func (f *Federator) matchResolved(g *rdf.Graph, tp sparql.TriplePattern, row Row, rs, rp, ro resolved, emit func(Row)) {
+	g.ForEachMatchIDs(rs.id, rp.id, ro.id, rs.have, rp.have, ro.have, func(ms, mp, mo rdf.ID) bool {
+		nb := row.Binding.Copy()
+		if tp.S.IsVar && !rs.have {
+			nb[tp.S.Var] = g.Dict().Term(ms)
+		}
+		if tp.P.IsVar && !rp.have {
+			nb[tp.P.Var] = g.Dict().Term(mp)
+		}
+		if tp.O.IsVar && !ro.have {
+			nb[tp.O.Var] = g.Dict().Term(mo)
+		}
+		if tp.S.IsVar && tp.O.IsVar && tp.S.Var == tp.O.Var && ms != mo {
+			return true
+		}
+		if tp.S.IsVar && tp.P.IsVar && tp.S.Var == tp.P.Var && ms != mp {
+			return true
+		}
+		if tp.P.IsVar && tp.O.IsVar && tp.P.Var == tp.O.Var && mp != mo {
+			return true
+		}
+		used := row.Used.Clone()
+		for _, r := range []resolved{rs, rp, ro} {
+			if r.link != nil {
+				used.Add(*r.link)
+			}
+		}
+		emit(Row{Binding: nb, Used: used})
+		return true
+	})
+}
+
+// Approve reports positive feedback on an answer row: every sameAs link
+// the row used is approved (§3.2: "if the answer is correct then the
+// link is correct").
+func Approve(row Row, sink FeedbackSink) {
+	for _, l := range row.Used.Slice() {
+		sink.Feedback(l, true)
+	}
+}
+
+// Reject reports negative feedback on an answer row: every link the row
+// used is rejected.
+func Reject(row Row, sink FeedbackSink) {
+	for _, l := range row.Used.Slice() {
+		sink.Feedback(l, false)
+	}
+}
+
+// String renders a result set compactly for CLI display.
+func (rs *ResultSet) String() string {
+	s := ""
+	for i, r := range rs.Rows {
+		s += fmt.Sprintf("[%d]", i)
+		vars := append([]string(nil), rs.Vars...)
+		sort.Strings(vars)
+		for _, v := range vars {
+			if t, ok := r.Binding[v]; ok {
+				s += fmt.Sprintf(" ?%s=%s", v, t)
+			}
+		}
+		if r.Used.Len() > 0 {
+			s += fmt.Sprintf(" (links used: %d)", r.Used.Len())
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+package federation
+
+import (
+	"testing"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// newsWorld builds the paper's motivating scenario (§1): a knowledge
+// base with facts about people, and a news archive with articles about
+// (its own IRIs for) the same people, joined by sameAs links.
+func newsWorld(t *testing.T) (*Federator, *rdf.Dict, links.Link) {
+	t.Helper()
+	d := rdf.NewDict()
+	kb := rdf.NewGraphWithDict(d)
+	news := rdf.NewGraphWithDict(d)
+
+	lebronKB := rdf.IRI("http://kb/LeBron_James")
+	kb.Insert(rdf.Triple{S: lebronKB, P: rdf.IRI("http://kb/award"), O: rdf.Literal("NBA MVP 2013")})
+	kb.Insert(rdf.Triple{S: lebronKB, P: rdf.IRI("http://kb/name"), O: rdf.Literal("LeBron James")})
+	duncanKB := rdf.IRI("http://kb/Tim_Duncan")
+	kb.Insert(rdf.Triple{S: duncanKB, P: rdf.IRI("http://kb/award"), O: rdf.Literal("NBA MVP 2003")})
+
+	lebronNews := rdf.IRI("http://news/people/lebron-james")
+	news.Insert(rdf.Triple{S: rdf.IRI("http://news/a1"), P: rdf.IRI("http://news/about"), O: lebronNews})
+	news.Insert(rdf.Triple{S: rdf.IRI("http://news/a2"), P: rdf.IRI("http://news/about"), O: lebronNews})
+	news.Insert(rdf.Triple{S: rdf.IRI("http://news/a3"), P: rdf.IRI("http://news/about"), O: rdf.IRI("http://news/people/someone-else")})
+
+	f := New(d)
+	if err := f.AddSource("kb", kb); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSource("news", news); err != nil {
+		t.Fatal(err)
+	}
+	kbID, _ := d.Lookup(lebronKB)
+	newsID, _ := d.Lookup(lebronNews)
+	link := links.Link{E1: kbID, E2: newsID}
+	f.SetLinks(links.NewSet(link))
+	return f, d, link
+}
+
+func TestFederatedJoinAcrossSameAs(t *testing.T) {
+	f, _, link := newsWorld(t)
+	res, err := f.Query(`SELECT ?article WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 articles", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.Used.Has(link) {
+			t.Fatalf("row %v missing link provenance", r.Binding)
+		}
+	}
+}
+
+func TestSingleSourceAnswerHasNoProvenance(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT ?p WHERE { ?p <http://kb/award> "NBA MVP 2013" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Used.Len() != 0 {
+		t.Fatalf("single-source answer recorded %d links", res.Rows[0].Used.Len())
+	}
+}
+
+func TestNoLinksNoJoin(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	f.SetLinks(links.NewSet()) // drop all links
+	res, err := f.Query(`SELECT ?article WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0 without links", len(res.Rows))
+	}
+}
+
+func TestLinkCount(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	if f.LinkCount() != 1 {
+		t.Fatalf("LinkCount = %d", f.LinkCount())
+	}
+}
+
+type sinkRecorder struct {
+	got map[links.Link]bool
+}
+
+func (s *sinkRecorder) Feedback(l links.Link, positive bool) {
+	if s.got == nil {
+		s.got = map[links.Link]bool{}
+	}
+	s.got[l] = positive
+}
+
+func TestApproveRejectRouteToLinks(t *testing.T) {
+	f, _, link := newsWorld(t)
+	res, err := f.Query(`SELECT ?article WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink sinkRecorder
+	Approve(res.Rows[0], &sink)
+	if v, ok := sink.got[link]; !ok || !v {
+		t.Fatalf("approve did not reach the link: %+v", sink.got)
+	}
+	Reject(res.Rows[1], &sink)
+	if v := sink.got[link]; v {
+		t.Fatalf("reject did not flip the link feedback")
+	}
+}
+
+func TestAddSourceRejectsForeignDict(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	other := rdf.NewGraph()
+	if err := f.AddSource("bad", other); err == nil {
+		t.Fatal("foreign dictionary accepted")
+	}
+}
+
+func TestQueryNoSources(t *testing.T) {
+	f := New(rdf.NewDict())
+	if _, err := f.Query(`SELECT ?x WHERE { ?x <http://p> ?y . }`); err == nil {
+		t.Fatal("query over empty federation succeeded")
+	}
+}
+
+func TestFederatedFilterAndModifiers(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT ?award WHERE {
+		?p <http://kb/award> ?award .
+		FILTER(CONTAINS(?award, "MVP"))
+	} ORDER BY ?award LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := res.Rows[0].Binding["award"]; got != rdf.Literal("NBA MVP 2003") {
+		t.Fatalf("order/limit wrong: %v", got)
+	}
+}
+
+func TestFederatedOptionalKeepsRow(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT ?p ?article WHERE {
+		?p <http://kb/award> ?a .
+		OPTIONAL { ?article <http://news/about> ?p . }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LeBron matches 2 articles (via link); Duncan has none but stays.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestFederatedUnion(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT ?p WHERE {
+		{ ?p <http://kb/award> "NBA MVP 2013" . } UNION { ?p <http://kb/award> "NBA MVP 2003" . }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestDistinctMergesProvenance(t *testing.T) {
+	f, _, link := newsWorld(t)
+	// DISTINCT ?p collapses the two article rows into one; provenance
+	// of the collapsed row must still contain the link.
+	res, err := f.Query(`SELECT DISTINCT ?p WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.Rows[0].Used.Has(link) {
+		t.Fatal("provenance lost through DISTINCT")
+	}
+}
+
+func TestSourceSelection(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	// kb/award exists only in the kb source.
+	awardID, ok := func() (rdf.ID, bool) {
+		return f.Sources()[0].Graph.Dict().Lookup(rdf.IRI("http://kb/award"))
+	}()
+	if !ok {
+		t.Fatal("award predicate missing")
+	}
+	srcs := f.predSources[awardID]
+	if len(srcs) != 1 || srcs[0] != 0 {
+		t.Fatalf("source selection for kb/award = %v, want [0]", srcs)
+	}
+	// Unknown predicate: zero sources, so the query returns nothing
+	// rather than scanning everything.
+	res, err := f.Query(`SELECT ?x WHERE { ?x <http://never/seen> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestFederatedAsk(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`ASK {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ask {
+		t.Fatal("federated ASK = false, want true")
+	}
+	f.SetLinks(links.NewSet())
+	res, err = f.Query(`ASK {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ask {
+		t.Fatal("federated ASK without links = true, want false")
+	}
+}
+
+func TestFederatedAggregate(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT (COUNT(?article) AS ?n) WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Binding["n"].Value != "2" {
+		t.Fatalf("count = %+v", res.Rows)
+	}
+	// The aggregate answer carries the union of contributing links.
+	if res.Rows[0].Used.Len() != 1 {
+		t.Fatalf("aggregate provenance = %d links, want 1", res.Rows[0].Used.Len())
+	}
+}
+
+func TestResultSetString(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	res, err := f.Query(`SELECT ?article WHERE {
+		?p <http://kb/award> "NBA MVP 2013" .
+		?article <http://news/about> ?p .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,128 @@
+package feedback
+
+import (
+	"math/rand"
+	"testing"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+func l(a, b uint32) links.Link { return links.Link{E1: rdf.ID(a), E2: rdf.ID(b)} }
+
+func TestJudgePerfectOracle(t *testing.T) {
+	gt := links.NewSet(l(1, 1), l(2, 2))
+	o := NewOracle(gt, 0, rand.New(rand.NewSource(1)))
+	if !o.Judge(l(1, 1)) {
+		t.Fatal("correct link rejected")
+	}
+	if o.Judge(l(9, 9)) {
+		t.Fatal("wrong link approved")
+	}
+	if o.GroundTruth().Len() != 2 {
+		t.Fatal("GroundTruth accessor wrong")
+	}
+}
+
+func TestJudgeErrorRateApproximatelyHolds(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	o := NewOracle(gt, 0.25, rand.New(rand.NewSource(7)))
+	flips := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if !o.Judge(l(1, 1)) {
+			flips++
+		}
+	}
+	rate := float64(flips) / trials
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("flip rate = %.3f, want ≈ 0.25", rate)
+	}
+}
+
+func TestJudgeErrorFlipsBothDirections(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	o := NewOracle(gt, 1.0, rand.New(rand.NewSource(7)))
+	if o.Judge(l(1, 1)) {
+		t.Fatal("error rate 1.0 did not flip a correct link")
+	}
+	if !o.Judge(l(9, 9)) {
+		t.Fatal("error rate 1.0 did not flip a wrong link")
+	}
+}
+
+func TestCrowdMajorityVote(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	crowd := NewCrowd(gt, 0.3, 9, rand.New(rand.NewSource(3)))
+	wrongVerdicts := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if !crowd.Judge(l(1, 1)) {
+			wrongVerdicts++
+		}
+	}
+	rate := float64(wrongVerdicts) / trials
+	want := crowd.EffectiveErrRate()
+	if rate > want*1.5+0.01 {
+		t.Fatalf("crowd error rate = %.4f, analytic = %.4f", rate, want)
+	}
+	// 9 voters at 30% individual error → ~10x reduction.
+	if want > 0.11 {
+		t.Fatalf("analytic crowd error = %.4f, want < 0.11", want)
+	}
+}
+
+func TestCrowdVoterCountNormalization(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	c := NewCrowd(gt, 0.1, 4, rand.New(rand.NewSource(1)))
+	if c.voters != 5 {
+		t.Fatalf("voters = %d, want rounded up to 5", c.voters)
+	}
+	c = NewCrowd(gt, 0.1, 0, rand.New(rand.NewSource(1)))
+	if c.voters != 1 {
+		t.Fatalf("voters = %d, want 1", c.voters)
+	}
+}
+
+func TestCrowdPerfectVoters(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	c := NewCrowd(gt, 0, 5, rand.New(rand.NewSource(1)))
+	if !c.Judge(l(1, 1)) || c.Judge(l(2, 2)) {
+		t.Fatal("perfect crowd misjudged")
+	}
+	if c.EffectiveErrRate() != 0 {
+		t.Fatalf("effective error = %f", c.EffectiveErrRate())
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 3, 10}, {4, 2, 6}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %f, want %f", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestJudgeDeterministicUnderSeed(t *testing.T) {
+	gt := links.NewSet(l(1, 1))
+	run := func() []bool {
+		o := NewOracle(gt, 0.5, rand.New(rand.NewSource(42)))
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, o.Judge(l(1, 1)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across identical seeds", i)
+		}
+	}
+}

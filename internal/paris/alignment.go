@@ -1,0 +1,97 @@
+package paris
+
+import (
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// relPair is an ordered (dataset-1 relation, dataset-2 relation) pair.
+type relPair struct {
+	r1, r2 rdf.ID
+}
+
+// relationAlignment estimates P(r1 ≈ r2) from the current entity
+// matches, the schema-alignment idea of PARIS: for matched entity pairs
+// (x, y) with score ≥ 0.5, a relation pair is supported when x's r1
+// value coincides with y's r2 value. The alignment score is
+// support / occurrences, where occurrences counts matched pairs in
+// which x has relation r1 at all — a conditional-probability estimate
+// of "if x≡y and x has (r1, v), does y state the same fact through r2".
+func (a *aligner) relationAlignment(scores map[links.Link]float64) map[relPair]float64 {
+	support := map[relPair]int{}
+	occur := map[rdf.ID]int{} // matched-pair count per r1
+	pairs := 0
+	for l, s := range scores {
+		if s < 0.5 {
+			continue
+		}
+		pairs++
+		attrs1 := a.ent1[l.E1]
+		attrs2 := a.ent2[l.E2]
+		vals2 := map[rdf.ID][]rdf.ID{} // object → ds2 predicates stating it
+		for _, at := range attrs2 {
+			vals2[at.Obj] = append(vals2[at.Obj], at.Pred)
+		}
+		seenR1 := map[rdf.ID]bool{}
+		seenPair := map[relPair]bool{}
+		for _, at := range attrs1 {
+			if !seenR1[at.Pred] {
+				seenR1[at.Pred] = true
+				occur[at.Pred]++
+			}
+			for _, r2 := range vals2[at.Obj] {
+				rp := relPair{r1: at.Pred, r2: r2}
+				if !seenPair[rp] {
+					seenPair[rp] = true
+					support[rp]++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return nil
+	}
+	align := make(map[relPair]float64, len(support))
+	for rp, sup := range support {
+		if n := occur[rp.r1]; n > 0 {
+			align[rp] = float64(sup) / float64(n)
+		}
+	}
+	return align
+}
+
+// literalEvidenceAligned recomputes the shared-value evidence with each
+// relation pair's contribution weighted by its alignment probability,
+// suppressing coincidental value sharing between semantically unrelated
+// relations (e.g. a person's name equal to some place's label).
+func (a *aligner) literalEvidenceAligned(align map[relPair]float64) map[links.Link]float64 {
+	disbelief := map[links.Link]float64{}
+	for obj, inc1 := range a.byObj1 {
+		inc2, ok := a.byObj2[obj]
+		if !ok {
+			continue
+		}
+		if len(inc1) > a.opts.MaxValueFanout || len(inc2) > a.opts.MaxValueFanout {
+			continue
+		}
+		for _, x := range inc1 {
+			for _, y := range inc2 {
+				w := a.ifun1[x.pred] * a.ifun2[y.pred] * align[relPair{r1: x.pred, r2: y.pred}]
+				if w <= 0 {
+					continue
+				}
+				l := links.Link{E1: x.subj, E2: y.subj}
+				d, seen := disbelief[l]
+				if !seen {
+					d = 1
+				}
+				disbelief[l] = d * (1 - w)
+			}
+		}
+	}
+	scores := make(map[links.Link]float64, len(disbelief))
+	for l, d := range disbelief {
+		scores[l] = 1 - d
+	}
+	return scores
+}

@@ -1,0 +1,100 @@
+package paris
+
+import (
+	"fmt"
+	"testing"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// alignmentWorld: people matched by name, plus a coincidence — one
+// person's name lexically equals a place label — which creates a false
+// positive for the unaligned linker.
+func alignmentWorld() *builder {
+	b := newBuilder()
+	// Solid name-aligned pairs establishing (label, name) alignment.
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("Person Number %d", i)
+		b.add1(fmt.Sprintf("p%d", i), "label", rdf.Literal(name))
+		b.add2(fmt.Sprintf("q%d", i), "name", rdf.Literal(name))
+	}
+	// The coincidence: a ds1 person is named "Victoria" and an
+	// unrelated ds2 place has hometown value "Victoria".
+	b.add1("coincidence", "label", rdf.Literal("Victoria"))
+	b.add2("place", "hometown", rdf.Literal("Victoria"))
+	return b
+}
+
+func scoresOf(b *builder, opts Options) map[links.Link]float64 {
+	opts.Threshold = 0
+	opts.Greedy11 = false
+	opts.Iterations = 1
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), opts)
+	out := map[links.Link]float64{}
+	for _, s := range got {
+		out[s.Link] = s.Score
+	}
+	return out
+}
+
+func TestAlignmentSuppressesCrossRelationCoincidence(t *testing.T) {
+	b := alignmentWorld()
+	coincidence := b.link("coincidence", "place")
+	good := b.link("p0", "q0")
+
+	plain := scoresOf(b, Options{})
+	aligned := scoresOf(b, Options{AlignRelations: true})
+
+	if plain[coincidence] == 0 {
+		t.Fatal("setup broken: coincidence pair carries no plain evidence")
+	}
+	if aligned[coincidence] >= plain[coincidence] {
+		t.Fatalf("alignment did not suppress the coincidence: %.3f -> %.3f",
+			plain[coincidence], aligned[coincidence])
+	}
+	if aligned[good] < 0.5 {
+		t.Fatalf("alignment hurt a genuine pair: %.3f", aligned[good])
+	}
+}
+
+func TestRelationAlignmentProbabilities(t *testing.T) {
+	b := alignmentWorld()
+	a := &aligner{
+		g1: b.g1, g2: b.g2,
+		opts: Options{Iterations: 1, MaxValueFanout: 64},
+		in1:  idSet(b.g1.SubjectIDs()), in2: idSet(b.g2.SubjectIDs()),
+	}
+	a.prepare(b.g1.SubjectIDs(), b.g2.SubjectIDs())
+	scores := a.literalEvidence()
+	align := a.relationAlignment(scores)
+	if align == nil {
+		t.Fatal("no alignment computed")
+	}
+	label, _ := b.d.Lookup(rdf.IRI("http://ds1/label"))
+	name, _ := b.d.Lookup(rdf.IRI("http://ds2/name"))
+	hometown, _ := b.d.Lookup(rdf.IRI("http://ds2/hometown"))
+	ln := align[relPair{r1: label, r2: name}]
+	lh := align[relPair{r1: label, r2: hometown}]
+	if ln <= lh {
+		t.Fatalf("align(label,name)=%.3f should exceed align(label,hometown)=%.3f", ln, lh)
+	}
+	if ln < 0.7 {
+		t.Fatalf("align(label,name)=%.3f, want high", ln)
+	}
+}
+
+func TestRelationAlignmentEmptyWhenNoMatches(t *testing.T) {
+	b := newBuilder()
+	b.add1("x", "p", rdf.Literal("only-in-ds1"))
+	b.add2("y", "q", rdf.Literal("only-in-ds2"))
+	a := &aligner{
+		g1: b.g1, g2: b.g2,
+		opts: Options{Iterations: 1, MaxValueFanout: 64},
+		in1:  idSet(b.g1.SubjectIDs()), in2: idSet(b.g2.SubjectIDs()),
+	}
+	a.prepare(b.g1.SubjectIDs(), b.g2.SubjectIDs())
+	if align := a.relationAlignment(a.literalEvidence()); align != nil {
+		t.Fatalf("alignment from zero matches: %v", align)
+	}
+}

@@ -1,0 +1,189 @@
+package paris
+
+import (
+	"fmt"
+	"testing"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+type builder struct {
+	d      *rdf.Dict
+	g1, g2 *rdf.Graph
+}
+
+func newBuilder() *builder {
+	d := rdf.NewDict()
+	return &builder{d: d, g1: rdf.NewGraphWithDict(d), g2: rdf.NewGraphWithDict(d)}
+}
+
+func (b *builder) add1(s, p string, o rdf.Term) {
+	b.g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/" + s), P: rdf.IRI("http://ds1/" + p), O: o})
+}
+
+func (b *builder) add2(s, p string, o rdf.Term) {
+	b.g2.Insert(rdf.Triple{S: rdf.IRI("http://ds2/" + s), P: rdf.IRI("http://ds2/" + p), O: o})
+}
+
+func (b *builder) id(iri string) rdf.ID {
+	v, ok := b.d.Lookup(rdf.IRI(iri))
+	if !ok {
+		panic("missing " + iri)
+	}
+	return v
+}
+
+func (b *builder) link(s1, s2 string) links.Link {
+	return links.Link{E1: b.id("http://ds1/" + s1), E2: b.id("http://ds2/" + s2)}
+}
+
+func TestLinkExactMatches(t *testing.T) {
+	b := newBuilder()
+	// Three entities with distinctive names on both sides.
+	for i, name := range []string{"Alpha One", "Beta Two", "Gamma Three"} {
+		s := fmt.Sprintf("e%d", i)
+		b.add1(s, "label", rdf.Literal(name))
+		b.add1(s, "year", rdf.Literal(fmt.Sprintf("19%d0", i+5)))
+		b.add2(s, "name", rdf.Literal(name))
+		b.add2(s, "born", rdf.Literal(fmt.Sprintf("19%d0", i+5)))
+	}
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), NewOptions())
+	if len(got) != 3 {
+		t.Fatalf("links = %d, want 3", len(got))
+	}
+	want := links.NewSet(b.link("e0", "e0"), b.link("e1", "e1"), b.link("e2", "e2"))
+	for _, l := range got {
+		if !want.Has(l.Link) {
+			t.Errorf("unexpected link %+v", l)
+		}
+		if l.Score < 0.95 {
+			t.Errorf("score = %f, want ≥ 0.95", l.Score)
+		}
+	}
+}
+
+func TestLinkIgnoresNonDistinctiveValues(t *testing.T) {
+	b := newBuilder()
+	// Every entity shares the same type value; only e0 pairs share a
+	// distinctive name. The common value must not link everything.
+	for i := 0; i < 10; i++ {
+		s := fmt.Sprintf("e%d", i)
+		b.add1(s, "type", rdf.Literal("Thing"))
+		b.add2(s, "type", rdf.Literal("Thing"))
+		b.add1(s, "label", rdf.Literal(fmt.Sprintf("distinct-one-%d", i)))
+		if i == 0 {
+			b.add2(s, "name", rdf.Literal("distinct-one-0"))
+		} else {
+			b.add2(s, "name", rdf.Literal(fmt.Sprintf("unrelated-%d", i)))
+		}
+	}
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), NewOptions())
+	if len(got) != 1 {
+		t.Fatalf("links = %v, want only the (e0,e0) pair", got)
+	}
+	if got[0].Link != b.link("e0", "e0") {
+		t.Fatalf("linked %+v", got[0])
+	}
+}
+
+func TestLinkHomonymTrap(t *testing.T) {
+	b := newBuilder()
+	// ds1 e0 and ds2 x share an exact name, but so does the unrelated
+	// ds2 homonym entity: PARIS confidently links one of them (greedy
+	// 1:1 keeps a single link). This is the low-precision regime.
+	b.add1("e0", "label", rdf.Literal("John Smith"))
+	b.add2("x", "name", rdf.Literal("John Smith"))
+	b.add2("homonym", "name", rdf.Literal("John Smith"))
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), Options{Threshold: 0.3, Iterations: 1, Greedy11: true})
+	if len(got) != 1 {
+		t.Fatalf("links = %d, want 1 after 1:1 reduction", len(got))
+	}
+}
+
+func TestLinkPropagationThroughEntities(t *testing.T) {
+	b := newBuilder()
+	// Players link by name; the teams share no literal but are linked
+	// through their players after propagation... the team pair needs
+	// direct literal evidence to enter the pool first, so give them a
+	// weakly shared city value and verify propagation raises the score.
+	b.add1("p1", "label", rdf.Literal("LeBron James"))
+	b.add2("q1", "name", rdf.Literal("LeBron James"))
+	b.add1("t1", "city", rdf.Literal("Cleveland"))
+	b.add2("u1", "city", rdf.Literal("Cleveland"))
+	// more city values sharing lexical forms so ifun(city) < 1 and the
+	// literal evidence alone stays below certainty
+	b.add1("t2", "city", rdf.Literal("Boston"))
+	b.add2("u2", "city", rdf.Literal("Boston"))
+	b.add1("t3", "city", rdf.Literal("Cleveland"))
+	b.add2("u3", "city", rdf.Literal("Cleveland"))
+	// membership edges (entity-valued)
+	b.add1("t1", "hasPlayer", rdf.IRI("http://ds1/p1"))
+	b.add2("u1", "hasPlayer", rdf.IRI("http://ds2/q1"))
+
+	one := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), Options{Threshold: 0, Iterations: 1, Greedy11: false})
+	three := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), Options{Threshold: 0, Iterations: 3, Greedy11: false})
+	score := func(ls []links.Scored, l links.Link) float64 {
+		for _, s := range ls {
+			if s.Link == l {
+				return s.Score
+			}
+		}
+		return -1
+	}
+	team := b.link("t1", "u1")
+	s1, s3 := score(one, team), score(three, team)
+	if s1 < 0 || s3 < 0 {
+		t.Fatalf("team pair missing: %f %f", s1, s3)
+	}
+	if s3 <= s1 {
+		t.Fatalf("propagation did not raise team score: %f -> %f", s1, s3)
+	}
+}
+
+func TestLinkThresholdFilters(t *testing.T) {
+	b := newBuilder()
+	// A weak shared value (low ifun) should stay below 0.95.
+	for i := 0; i < 5; i++ {
+		b.add1(fmt.Sprintf("e%d", i), "country", rdf.Literal("USA"))
+		b.add2(fmt.Sprintf("f%d", i), "country", rdf.Literal("USA"))
+	}
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), NewOptions())
+	if len(got) != 0 {
+		t.Fatalf("weak evidence produced %d links at 0.95", len(got))
+	}
+	loose := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), Options{Threshold: 0.01, Iterations: 1, Greedy11: false})
+	if len(loose) != 25 {
+		t.Fatalf("loose threshold links = %d, want 25", len(loose))
+	}
+}
+
+func TestGreedyOneToOne(t *testing.T) {
+	in := []links.Scored{
+		{Link: links.Link{E1: 1, E2: 10}, Score: 0.99},
+		{Link: links.Link{E1: 1, E2: 11}, Score: 0.98},
+		{Link: links.Link{E1: 2, E2: 10}, Score: 0.97},
+		{Link: links.Link{E1: 2, E2: 12}, Score: 0.96},
+	}
+	out := greedyOneToOne(in)
+	if len(out) != 2 {
+		t.Fatalf("out = %d links, want 2", len(out))
+	}
+	if out[0].Link != (links.Link{E1: 1, E2: 10}) || out[1].Link != (links.Link{E1: 2, E2: 12}) {
+		t.Fatalf("greedy picks = %+v", out)
+	}
+}
+
+func TestMaxValueFanoutCapsBlowup(t *testing.T) {
+	b := newBuilder()
+	// 100 subjects on each side share one value: with default fanout cap
+	// the value is skipped entirely and no pairs are scored.
+	for i := 0; i < 100; i++ {
+		b.add1(fmt.Sprintf("e%d", i), "p", rdf.Literal("shared"))
+		b.add2(fmt.Sprintf("f%d", i), "p", rdf.Literal("shared"))
+	}
+	got := Link(b.g1, b.g2, b.g1.SubjectIDs(), b.g2.SubjectIDs(), Options{Threshold: 0, Iterations: 1, MaxValueFanout: 64, Greedy11: false})
+	if len(got) != 0 {
+		t.Fatalf("fanout cap failed: %d links", len(got))
+	}
+}

@@ -1,0 +1,54 @@
+package rdf
+
+// ID is a dense dictionary-encoded term identifier. ID 0 is never
+// assigned; it is reserved as "no term" so that zero values are safe.
+type ID uint32
+
+// NoID is the zero ID, never assigned to a term.
+const NoID ID = 0
+
+// Dict interns Terms to dense IDs. The zero value is not ready for use;
+// construct with NewDict. A Dict may be shared between several Graphs so
+// that IDs are comparable across datasets.
+type Dict struct {
+	terms []Term
+	index map[Term]ID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		terms: make([]Term, 1), // slot 0 reserved for NoID
+		index: make(map[Term]ID),
+	}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dict) Intern(t Term) ID {
+	if id, ok := d.index[t]; ok {
+		return id
+	}
+	id := ID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.index[t] = id
+	return id
+}
+
+// Lookup returns the ID for t if it has been interned.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	id, ok := d.index[t]
+	return id, ok
+}
+
+// Term returns the term for a previously assigned ID. It panics on NoID
+// or an ID that was never assigned, which always indicates a programming
+// error.
+func (d *Dict) Term(id ID) Term {
+	if id == NoID || int(id) >= len(d.terms) {
+		panic("rdf: Term called with unassigned ID")
+	}
+	return d.terms[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) - 1 }

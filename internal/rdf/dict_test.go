@@ -1,0 +1,60 @@
+package rdf
+
+import "testing"
+
+func TestDictInternStable(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(IRI("http://ex.org/a"))
+	b := d.Intern(IRI("http://ex.org/b"))
+	if a == b {
+		t.Fatal("distinct terms received the same ID")
+	}
+	if a2 := d.Intern(IRI("http://ex.org/a")); a2 != a {
+		t.Fatalf("re-interning changed ID: %d != %d", a2, a)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictNoIDNeverAssigned(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 100; i++ {
+		if id := d.Intern(Literal(string(rune('a' + i)))); id == NoID {
+			t.Fatal("NoID assigned to a term")
+		}
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	id := d.Intern(Literal("x"))
+	got, ok := d.Lookup(Literal("x"))
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if _, ok := d.Lookup(Literal("missing")); ok {
+		t.Fatal("Lookup found a term that was never interned")
+	}
+}
+
+func TestDictTermRoundTrip(t *testing.T) {
+	d := NewDict()
+	terms := []Term{IRI("http://a"), Literal("lit"), LangLiteral("l", "en"), TypedLiteral("5", XSDInteger), Blank("b")}
+	for _, tm := range terms {
+		id := d.Intern(tm)
+		if got := d.Term(id); got != tm {
+			t.Errorf("Term(Intern(%v)) = %v", tm, got)
+		}
+	}
+}
+
+func TestDictTermPanicsOnBadID(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term(NoID) did not panic")
+		}
+	}()
+	d.Term(NoID)
+}

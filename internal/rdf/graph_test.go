@@ -1,0 +1,199 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{IRI("http://ex.org/" + s), IRI("http://ex.org/" + p), Literal(o)}
+}
+
+func TestGraphInsertDedup(t *testing.T) {
+	g := NewGraph()
+	if !g.Insert(tr("s", "p", "o")) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if g.Insert(tr("s", "p", "o")) {
+		t.Fatal("second insert reported new")
+	}
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", g.Size())
+	}
+}
+
+func TestGraphHas(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("s", "p", "o"))
+	if !g.Has(tr("s", "p", "o")) {
+		t.Fatal("Has missed inserted triple")
+	}
+	if g.Has(tr("s", "p", "other")) {
+		t.Fatal("Has found absent triple")
+	}
+	if g.Has(tr("never", "interned", "terms")) {
+		t.Fatal("Has found triple with uninterned terms")
+	}
+}
+
+func TestGraphMatchAllAccessPaths(t *testing.T) {
+	g := NewGraph()
+	triples := []Triple{tr("s1", "p1", "o1"), tr("s1", "p2", "o2"), tr("s2", "p1", "o1"), tr("s2", "p2", "o3")}
+	for _, x := range triples {
+		g.Insert(x)
+	}
+	s1 := IRI("http://ex.org/s1")
+	p1 := IRI("http://ex.org/p1")
+	o1 := Literal("o1")
+
+	count := func(pat Pattern) int {
+		n := 0
+		g.ForEachMatch(pat, func(Triple) bool { n++; return true })
+		return n
+	}
+	cases := []struct {
+		pat  Pattern
+		want int
+	}{
+		{Pattern{}, 4},
+		{Pattern{S: &s1}, 2},
+		{Pattern{P: &p1}, 2},
+		{Pattern{O: &o1}, 2},
+		{Pattern{S: &s1, P: &p1}, 1},
+		{Pattern{P: &p1, O: &o1}, 2},
+		{Pattern{S: &s1, O: &o1}, 1},
+		{Pattern{S: &s1, P: &p1, O: &o1}, 1},
+	}
+	for i, c := range cases {
+		if got := count(c.pat); got != c.want {
+			t.Errorf("case %d: matched %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestGraphMatchEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Insert(tr("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	n := 0
+	g.ForEachMatch(Pattern{}, func(Triple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestGraphEntityView(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("e", "name", "Ada"))
+	g.Insert(tr("e", "born", "1815"))
+	g.Insert(tr("e", "name", "Ada Lovelace"))
+	s, _ := g.Dict().Lookup(IRI("http://ex.org/e"))
+	attrs := g.Entity(s)
+	if len(attrs) != 3 {
+		t.Fatalf("Entity returned %d attributes, want 3", len(attrs))
+	}
+	if !sort.SliceIsSorted(attrs, func(i, j int) bool {
+		if attrs[i].Pred != attrs[j].Pred {
+			return attrs[i].Pred < attrs[j].Pred
+		}
+		return attrs[i].Obj < attrs[j].Obj
+	}) {
+		t.Fatal("Entity attributes are not sorted")
+	}
+}
+
+func TestGraphSharedDict(t *testing.T) {
+	d := NewDict()
+	g1 := NewGraphWithDict(d)
+	g2 := NewGraphWithDict(d)
+	g1.Insert(tr("s", "p", "o"))
+	g2.Insert(tr("s", "p", "o2"))
+	id1, ok1 := g1.Dict().Lookup(IRI("http://ex.org/s"))
+	id2, ok2 := g2.Dict().Lookup(IRI("http://ex.org/s"))
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Fatal("shared dictionary does not produce identical IDs")
+	}
+}
+
+func TestGraphCountMatch(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("s", "p", "o1"))
+	g.Insert(tr("s", "p", "o2"))
+	s, _ := g.Dict().Lookup(IRI("http://ex.org/s"))
+	p, _ := g.Dict().Lookup(IRI("http://ex.org/p"))
+	if got := g.CountMatch(s, p, 0, true, true, false); got != 2 {
+		t.Fatalf("CountMatch(s,p,·) = %d, want 2", got)
+	}
+	if got := g.CountMatch(0, 0, 0, false, false, false); got != 2 {
+		t.Fatalf("CountMatch(·,·,·) = %d, want 2", got)
+	}
+}
+
+// Property: inserting any set of triples yields a graph whose size equals
+// the number of distinct triples and where Has holds for each.
+func TestGraphInsertProperty(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		g := NewGraph()
+		seen := map[[3]uint8]bool{}
+		for _, r := range raw {
+			g.Insert(Triple{
+				S: IRI(fmt.Sprintf("http://s/%d", r[0]%8)),
+				P: IRI(fmt.Sprintf("http://p/%d", r[1]%4)),
+				O: Literal(fmt.Sprintf("o%d", r[2]%8)),
+			})
+			seen[[3]uint8{r[0] % 8, r[1] % 4, r[2] % 8}] = true
+		}
+		if g.Size() != len(seen) {
+			return false
+		}
+		for k := range seen {
+			if !g.Has(Triple{
+				S: IRI(fmt.Sprintf("http://s/%d", k[0])),
+				P: IRI(fmt.Sprintf("http://p/%d", k[1])),
+				O: Literal(fmt.Sprintf("o%d", k[2])),
+			}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphSubjectsObjects(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("s", "p", "o1"))
+	g.Insert(tr("s", "p", "o2"))
+	g.Insert(tr("s2", "p", "o1"))
+	d := g.Dict()
+	s, _ := d.Lookup(IRI("http://ex.org/s"))
+	p, _ := d.Lookup(IRI("http://ex.org/p"))
+	o1, _ := d.Lookup(Literal("o1"))
+	if objs := g.Objects(s, p); len(objs) != 2 {
+		t.Fatalf("Objects = %d results, want 2", len(objs))
+	}
+	if subs := g.Subjects(p, o1); len(subs) != 2 {
+		t.Fatalf("Subjects = %d results, want 2", len(subs))
+	}
+}
+
+func TestGraphIDListings(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("s1", "p1", "o"))
+	g.Insert(tr("s2", "p2", "o"))
+	if got := len(g.SubjectIDs()); got != 2 {
+		t.Fatalf("SubjectIDs = %d, want 2", got)
+	}
+	if got := len(g.PredicateIDs()); got != 2 {
+		t.Fatalf("PredicateIDs = %d, want 2", got)
+	}
+	s1, _ := g.Dict().Lookup(IRI("http://ex.org/s1"))
+	if got := len(g.PredicatesOf(s1)); got != 1 {
+		t.Fatalf("PredicatesOf = %d, want 1", got)
+	}
+}

@@ -1,0 +1,287 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error in N-Triples input.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// ReadNTriples parses N-Triples from r and inserts every triple into g.
+// It returns the number of triples read (including duplicates already in
+// the graph). Comment lines (#...) and blank lines are skipped.
+func ReadNTriples(r io.Reader, g *Graph) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(text)
+		if err != nil {
+			return n, &ParseError{Line: line, Msg: err.Error()}
+		}
+		g.Insert(t)
+		n++
+	}
+	return n, sc.Err()
+}
+
+// WriteNTriples writes every triple of g to w in N-Triples syntax.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	g.ForEachMatch(Pattern{}, func(t Triple) bool {
+		if _, err := fmt.Fprintf(bw, "%s\n", t); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ParseTripleLine parses a single N-Triples statement (which must end
+// with a '.').
+func ParseTripleLine(s string) (Triple, error) {
+	p := &ntParser{in: s}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return Triple{}, fmt.Errorf("expected terminating '.'")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos != len(p.in) {
+		return Triple{}, fmt.Errorf("trailing content after '.'")
+	}
+	if !subj.IsIRI() && !subj.IsBlank() {
+		return Triple{}, fmt.Errorf("subject must be IRI or blank node")
+	}
+	if !pred.IsIRI() {
+		return Triple{}, fmt.Errorf("predicate must be IRI")
+	}
+	return Triple{S: subj, P: pred, O: obj}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) skipWS() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.in[p.pos])
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	p.pos++ // consume '<'
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	raw := p.in[p.pos : p.pos+end]
+	p.pos += end + 1
+	v, err := unescape(raw)
+	if err != nil {
+		return Term{}, err
+	}
+	return IRI(v), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.in[p.pos:], "_:") {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	return Blank(p.in[start:p.pos]), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.in) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.in[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			if p.pos+1 >= len(p.in) {
+				return Term{}, fmt.Errorf("dangling escape")
+			}
+			consumed, r, err := decodeEscape(p.in[p.pos:])
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+			p.pos += consumed
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.in) && p.in[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) {
+			c := p.in[p.pos]
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.pos == start {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		return LangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+			return Term{}, fmt.Errorf("datatype must be an IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return TypedLiteral(lex, dt.Value), nil
+	}
+	return Literal(lex), nil
+}
+
+func decodeEscape(s string) (consumed int, r rune, err error) {
+	// s begins with '\'.
+	switch s[1] {
+	case 't':
+		return 2, '\t', nil
+	case 'n':
+		return 2, '\n', nil
+	case 'r':
+		return 2, '\r', nil
+	case '"':
+		return 2, '"', nil
+	case '\\':
+		return 2, '\\', nil
+	case 'u':
+		return decodeHexEscape(s, 4)
+	case 'U':
+		return decodeHexEscape(s, 8)
+	default:
+		return 0, 0, fmt.Errorf("invalid escape \\%c", s[1])
+	}
+}
+
+func decodeHexEscape(s string, digits int) (int, rune, error) {
+	if len(s) < 2+digits {
+		return 0, 0, fmt.Errorf("truncated unicode escape")
+	}
+	var v rune
+	for i := 2; i < 2+digits; i++ {
+		c := s[i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, 0, fmt.Errorf("invalid hex digit %q in unicode escape", c)
+		}
+		v = v<<4 | d
+	}
+	if !utf8.ValidRune(v) {
+		return 0, 0, fmt.Errorf("invalid rune U+%X in unicode escape", v)
+	}
+	return 2 + digits, v, nil
+}
+
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("dangling escape")
+		}
+		consumed, r, err := decodeEscape(s[i:])
+		if err != nil {
+			return "", err
+		}
+		b.WriteRune(r)
+		i += consumed
+	}
+	return b.String(), nil
+}

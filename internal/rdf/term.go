@@ -1,0 +1,166 @@
+// Package rdf implements a minimal, dependency-free RDF data model: terms,
+// triples, a dictionary-encoded in-memory triple store with SPO/POS/OSP
+// indexes, and an N-Triples reader/writer.
+//
+// The package is the storage substrate for the ALEX reproduction: datasets
+// are Graphs, entities are subjects, and entity attributes are
+// (predicate, object) pairs read through the Entity view.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The RDF term kinds.
+const (
+	KindIRI TermKind = iota
+	KindLiteral
+	KindBlank
+)
+
+// Well-known IRIs used throughout the system.
+const (
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal  = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDDate     = "http://www.w3.org/2001/XMLSchema#date"
+	XSDDateTime = "http://www.w3.org/2001/XMLSchema#dateTime"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	RDFType     = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSLabel   = "http://www.w3.org/2000/01/rdf-schema#label"
+	OWLSameAs   = "http://www.w3.org/2002/07/owl#sameAs"
+	OWLThing    = "http://www.w3.org/2002/07/owl#Thing"
+)
+
+// Term is an RDF term: an IRI, a literal, or a blank node. Terms are
+// comparable values and can be used as map keys.
+//
+// For IRIs, Value holds the IRI string. For blank nodes, Value holds the
+// label (without the "_:" prefix). For literals, Value holds the lexical
+// form, Datatype the datatype IRI ("" means xsd:string unless Lang is
+// set), and Lang the language tag.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// Blank returns a blank-node term with the given label.
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// Literal returns a plain string literal.
+func Literal(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged string literal.
+func LangLiteral(lex, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Lang: lang}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// EffectiveDatatype returns the literal's datatype IRI, defaulting to
+// xsd:string for plain literals. It returns "" for non-literals.
+func (t Term) EffectiveDatatype() string {
+	if t.Kind != KindLiteral {
+		return ""
+	}
+	if t.Datatype == "" {
+		return XSDString
+	}
+	return t.Datatype
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	}
+}
+
+// LocalName returns the fragment or last path segment of an IRI, which is
+// useful for human-readable reports. For non-IRIs it returns Value.
+func (t Term) LocalName() string {
+	if t.Kind != KindIRI {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexByte(v, '#'); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	if i := strings.LastIndexByte(v, '/'); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Triple is an RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple as an N-Triples line (without newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}

@@ -1,0 +1,80 @@
+package rdf
+
+import "testing"
+
+func TestTermConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		term    Term
+		isIRI   bool
+		isLit   bool
+		isBlank bool
+	}{
+		{IRI("http://ex.org/a"), true, false, false},
+		{Literal("hello"), false, true, false},
+		{TypedLiteral("3", XSDInteger), false, true, false},
+		{LangLiteral("bonjour", "fr"), false, true, false},
+		{Blank("b0"), false, false, true},
+	}
+	for _, c := range cases {
+		if c.term.IsIRI() != c.isIRI || c.term.IsLiteral() != c.isLit || c.term.IsBlank() != c.isBlank {
+			t.Errorf("%v: kind predicates wrong", c.term)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{IRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{Literal("hello"), `"hello"`},
+		{TypedLiteral("3", XSDInteger), `"3"^^<` + XSDInteger + `>`},
+		{TypedLiteral("x", XSDString), `"x"`},
+		{LangLiteral("hi", "en"), `"hi"@en`},
+		{Blank("b1"), "_:b1"},
+		{Literal("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEffectiveDatatype(t *testing.T) {
+	if got := Literal("x").EffectiveDatatype(); got != XSDString {
+		t.Errorf("plain literal datatype = %q, want xsd:string", got)
+	}
+	if got := TypedLiteral("1", XSDInteger).EffectiveDatatype(); got != XSDInteger {
+		t.Errorf("typed literal datatype = %q, want xsd:integer", got)
+	}
+	if got := IRI("x").EffectiveDatatype(); got != "" {
+		t.Errorf("IRI datatype = %q, want empty", got)
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct{ iri, want string }{
+		{"http://ex.org/path/Name", "Name"},
+		{"http://ex.org/onto#prop", "prop"},
+		{"plain", "plain"},
+	}
+	for _, c := range cases {
+		if got := IRI(c.iri).LocalName(); got != c.want {
+			t.Errorf("LocalName(%q) = %q, want %q", c.iri, got, c.want)
+		}
+	}
+}
+
+func TestTermComparable(t *testing.T) {
+	m := map[Term]int{}
+	m[IRI("http://ex.org/a")] = 1
+	m[Literal("a")] = 2
+	if m[IRI("http://ex.org/a")] != 1 || m[Literal("a")] != 2 {
+		t.Fatal("terms are not usable as map keys")
+	}
+	if IRI("a") == Literal("a") {
+		t.Fatal("IRI and literal with same value must differ")
+	}
+}

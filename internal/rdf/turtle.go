@@ -1,0 +1,580 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ReadTurtle parses a practical subset of the Turtle language from r and
+// inserts every triple into g, returning the number of triples read.
+//
+// Supported: @prefix and PREFIX directives, @base/BASE (resolved by
+// simple concatenation for relative IRIs), prefixed names, the 'a'
+// keyword, predicate lists (';'), object lists (','), string literals
+// with language tags and datatypes (both quoted and triple-quoted),
+// numeric and boolean shorthand literals, blank node labels (_:x) and
+// comments. Collections "( ... )" and anonymous blank nodes "[ ... ]"
+// are parsed as fresh blank nodes with rdf:first/rdf:rest and inline
+// property expansion respectively.
+func ReadTurtle(r io.Reader, g *Graph) (int, error) {
+	br := bufio.NewReader(r)
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return 0, err
+	}
+	p := &turtleParser{in: string(data), g: g, prefixes: map[string]string{}}
+	if err := p.parse(); err != nil {
+		return p.count, err
+	}
+	return p.count, nil
+}
+
+type turtleParser struct {
+	in       string
+	pos      int
+	line     int
+	g        *Graph
+	prefixes map[string]string
+	base     string
+	count    int
+	bnodeSeq int
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) parse() error {
+	for {
+		p.skipWS()
+		if p.pos >= len(p.in) {
+			return nil
+		}
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *turtleParser) statement() error {
+	switch {
+	case p.hasKeyword("@prefix"):
+		return p.prefixDirective(true)
+	case p.hasKeyword("PREFIX"):
+		return p.prefixDirective(false)
+	case p.hasKeyword("@base"):
+		return p.baseDirective(true)
+	case p.hasKeyword("BASE"):
+		return p.baseDirective(false)
+	default:
+		return p.triples()
+	}
+}
+
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if len(p.in)-p.pos < len(kw) {
+		return false
+	}
+	seg := p.in[p.pos : p.pos+len(kw)]
+	if !strings.EqualFold(seg, kw) {
+		return false
+	}
+	// keyword must be followed by whitespace
+	next := p.pos + len(kw)
+	if next < len(p.in) {
+		c := p.in[next]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *turtleParser) prefixDirective(atForm bool) error {
+	p.skipWS()
+	name, err := p.readUntilByte(':')
+	if err != nil {
+		return p.errf("malformed prefix name")
+	}
+	p.pos++ // ':'
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	p.skipWS()
+	if atForm {
+		if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+			return p.errf("@prefix directive must end with '.'")
+		}
+		p.pos++
+	} else if p.pos < len(p.in) && p.in[p.pos] == '.' {
+		p.pos++ // tolerate SPARQL-style PREFIX followed by '.'
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDirective(atForm bool) error {
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	p.skipWS()
+	if atForm {
+		if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+			return p.errf("@base directive must end with '.'")
+		}
+		p.pos++
+	} else if p.pos < len(p.in) && p.in[p.pos] == '.' {
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) triples() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return p.errf("expected '.' after triples")
+	}
+	p.pos++
+	return nil
+}
+
+func (p *turtleParser) predicateObjectList(subj Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.g.Insert(Triple{S: subj, P: pred, O: obj})
+			p.count++
+			p.skipWS()
+			if p.pos < len(p.in) && p.in[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.pos < len(p.in) && p.in[p.pos] == ';' {
+			p.pos++
+			p.skipWS()
+			// allow trailing ';' before '.' or ']'
+			if p.pos < len(p.in) && (p.in[p.pos] == '.' || p.in[p.pos] == ']') {
+				return nil
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case '_':
+		return p.blankNode()
+	case '[':
+		return p.anonBlank()
+	case '(':
+		return p.collection()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) predicate() (Term, error) {
+	p.skipWS()
+	if p.pos < len(p.in) && p.in[p.pos] == 'a' {
+		// 'a' keyword when followed by whitespace
+		if p.pos+1 >= len(p.in) || isTurtleWS(p.in[p.pos+1]) {
+			p.pos++
+			return IRI(RDFType), nil
+		}
+	}
+	if p.pos < len(p.in) && p.in[p.pos] == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	}
+	return p.prefixedName()
+}
+
+func (p *turtleParser) object() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) {
+		return Term{}, p.errf("unexpected end of input in object position")
+	}
+	c := p.in[p.pos]
+	switch {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case c == '_':
+		return p.blankNode()
+	case c == '[':
+		return p.anonBlank()
+	case c == '(':
+		return p.collection()
+	case c == '"' || c == '\'':
+		return p.literal(c)
+	case c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.':
+		return p.numberLiteral()
+	case strings.HasPrefix(p.in[p.pos:], "true") && p.boundaryAt(p.pos+4):
+		p.pos += 4
+		return TypedLiteral("true", XSDBoolean), nil
+	case strings.HasPrefix(p.in[p.pos:], "false") && p.boundaryAt(p.pos+5):
+		p.pos += 5
+		return TypedLiteral("false", XSDBoolean), nil
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) boundaryAt(i int) bool {
+	if i >= len(p.in) {
+		return true
+	}
+	c := rune(p.in[i])
+	return !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_'
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+		return "", p.errf("expected IRI")
+	}
+	p.pos++
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	raw := p.in[p.pos : p.pos+end]
+	p.pos += end + 1
+	v, err := unescape(raw)
+	if err != nil {
+		return "", p.errf("%v", err)
+	}
+	if p.base != "" && !strings.Contains(v, "://") && !strings.HasPrefix(v, "urn:") {
+		v = p.base + v
+	}
+	return v, nil
+}
+
+func (p *turtleParser) blankNode() (Term, error) {
+	if !strings.HasPrefix(p.in[p.pos:], "_:") {
+		return Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return Blank(p.in[start:p.pos]), nil
+}
+
+func (p *turtleParser) freshBlank() Term {
+	p.bnodeSeq++
+	return Blank(fmt.Sprintf("ttl-gen-%d", p.bnodeSeq))
+}
+
+// anonBlank parses "[ pred obj ; ... ]" (or the empty "[]"), emitting the
+// inner triples with a fresh blank subject.
+func (p *turtleParser) anonBlank() (Term, error) {
+	p.pos++ // '['
+	b := p.freshBlank()
+	p.skipWS()
+	if p.pos < len(p.in) && p.in[p.pos] == ']' {
+		p.pos++
+		return b, nil
+	}
+	if err := p.predicateObjectList(b); err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != ']' {
+		return Term{}, p.errf("unterminated blank node property list")
+	}
+	p.pos++
+	return b, nil
+}
+
+// collection parses "( o1 o2 ... )" into the standard rdf:first/rdf:rest
+// list structure and returns its head (rdf:nil for the empty list).
+func (p *turtleParser) collection() (Term, error) {
+	const (
+		rdfFirst = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first"
+		rdfRest  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest"
+		rdfNil   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil"
+	)
+	p.pos++ // '('
+	var items []Term
+	for {
+		p.skipWS()
+		if p.pos >= len(p.in) {
+			return Term{}, p.errf("unterminated collection")
+		}
+		if p.in[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		o, err := p.object()
+		if err != nil {
+			return Term{}, err
+		}
+		items = append(items, o)
+	}
+	head := IRI(rdfNil)
+	for i := len(items) - 1; i >= 0; i-- {
+		node := p.freshBlank()
+		p.g.Insert(Triple{S: node, P: IRI(rdfFirst), O: items[i]})
+		p.g.Insert(Triple{S: node, P: IRI(rdfRest), O: head})
+		p.count += 2
+		head = node
+	}
+	return head, nil
+}
+
+func (p *turtleParser) literal(quote byte) (Term, error) {
+	long := strings.HasPrefix(p.in[p.pos:], strings.Repeat(string(quote), 3))
+	var lex string
+	if long {
+		p.pos += 3
+		end := strings.Index(p.in[p.pos:], strings.Repeat(string(quote), 3))
+		if end < 0 {
+			return Term{}, p.errf("unterminated long literal")
+		}
+		raw := p.in[p.pos : p.pos+end]
+		p.pos += end + 3
+		v, err := unescape(raw)
+		if err != nil {
+			return Term{}, p.errf("%v", err)
+		}
+		lex = v
+	} else {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.pos >= len(p.in) {
+				return Term{}, p.errf("unterminated literal")
+			}
+			c := p.in[p.pos]
+			if c == quote {
+				p.pos++
+				break
+			}
+			if c == '\n' {
+				return Term{}, p.errf("newline in short literal")
+			}
+			if c == '\\' {
+				if p.pos+1 >= len(p.in) {
+					return Term{}, p.errf("dangling escape")
+				}
+				consumed, r, err := decodeEscape(p.in[p.pos:])
+				if err != nil {
+					return Term{}, p.errf("%v", err)
+				}
+				b.WriteRune(r)
+				p.pos += consumed
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		lex = b.String()
+	}
+
+	// language tag or datatype
+	if p.pos < len(p.in) && p.in[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) {
+			c := p.in[p.pos]
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return LangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos < len(p.in) && p.in[p.pos] == '<' {
+			dt, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			return TypedLiteral(lex, dt), nil
+		}
+		dt, err := p.prefixedName()
+		if err != nil {
+			return Term{}, err
+		}
+		return TypedLiteral(lex, dt.Value), nil
+	}
+	return Literal(lex), nil
+}
+
+func (p *turtleParser) numberLiteral() (Term, error) {
+	start := p.pos
+	if p.in[p.pos] == '+' || p.in[p.pos] == '-' {
+		p.pos++
+	}
+	digits, dots, exp := 0, 0, false
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+			p.pos++
+		case c == '.' && dots == 0 && !exp:
+			// a '.' not followed by a digit terminates the statement
+			if p.pos+1 >= len(p.in) || p.in[p.pos+1] < '0' || p.in[p.pos+1] > '9' {
+				goto done
+			}
+			dots++
+			p.pos++
+		case (c == 'e' || c == 'E') && !exp && digits > 0:
+			exp = true
+			p.pos++
+			if p.pos < len(p.in) && (p.in[p.pos] == '+' || p.in[p.pos] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lex := p.in[start:p.pos]
+	if digits == 0 {
+		return Term{}, p.errf("malformed numeric literal %q", lex)
+	}
+	switch {
+	case exp:
+		return TypedLiteral(lex, XSDDouble), nil
+	case dots > 0:
+		return TypedLiteral(lex, XSDDecimal), nil
+	default:
+		return TypedLiteral(lex, XSDInteger), nil
+	}
+}
+
+func (p *turtleParser) prefixedName() (Term, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' && p.pos > start {
+			p.pos++
+			continue
+		}
+		break
+	}
+	// trailing dots belong to the statement terminator
+	for p.pos > start && p.in[p.pos-1] == '.' {
+		p.pos--
+	}
+	name := p.in[start:p.pos]
+	if p.pos >= len(p.in) || p.in[p.pos] != ':' {
+		return Term{}, p.errf("expected prefixed name, got %q", name)
+	}
+	p.pos++
+	localStart := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' && p.pos > localStart {
+			p.pos++
+			continue
+		}
+		break
+	}
+	for p.pos > localStart && p.in[p.pos-1] == '.' {
+		p.pos--
+	}
+	local := p.in[localStart:p.pos]
+	base, ok := p.prefixes[name]
+	if !ok {
+		return Term{}, p.errf("undeclared prefix %q", name)
+	}
+	return IRI(base + local), nil
+}
+
+func (p *turtleParser) readUntilByte(b byte) (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != b {
+		if isTurtleWS(p.in[p.pos]) {
+			return "", fmt.Errorf("unexpected whitespace")
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return "", io.ErrUnexpectedEOF
+	}
+	return p.in[start:p.pos], nil
+}
+
+func isTurtleWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.in) && p.in[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}

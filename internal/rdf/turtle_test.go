@@ -1,0 +1,244 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseTurtle(t *testing.T, in string) *Graph {
+	t.Helper()
+	g := NewGraph()
+	if _, err := ReadTurtle(strings.NewReader(in), g); err != nil {
+		t.Fatalf("ReadTurtle: %v", err)
+	}
+	return g
+}
+
+func TestTurtleBasicTriples(t *testing.T) {
+	g := parseTurtle(t, `
+		<http://a> <http://p> <http://b> .
+		<http://a> <http://q> "hello" .
+	`)
+	if g.Size() != 2 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if !g.Has(Triple{IRI("http://a"), IRI("http://q"), Literal("hello")}) {
+		t.Fatal("missing literal triple")
+	}
+}
+
+func TestTurtlePrefixes(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+		PREFIX ex: <http://example.org/>
+		ex:alice foaf:name "Alice" .
+	`)
+	if !g.Has(Triple{IRI("http://example.org/alice"), IRI("http://xmlns.com/foaf/0.1/name"), Literal("Alice")}) {
+		t.Fatalf("prefix expansion failed: %v", g.Triples())
+	}
+}
+
+func TestTurtleAKeywordAndLists(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		ex:s a ex:Person ;
+		     ex:likes ex:a, ex:b ;
+		     ex:age 42 .
+	`)
+	if g.Size() != 4 {
+		t.Fatalf("size = %d, want 4", g.Size())
+	}
+	if !g.Has(Triple{IRI("http://ex.org/s"), IRI(RDFType), IRI("http://ex.org/Person")}) {
+		t.Fatal("'a' not expanded to rdf:type")
+	}
+	if !g.Has(Triple{IRI("http://ex.org/s"), IRI("http://ex.org/age"), TypedLiteral("42", XSDInteger)}) {
+		t.Fatal("numeric shorthand missing")
+	}
+}
+
+func TestTurtleLiteralForms(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		ex:s ex:p1 "plain" .
+		ex:s ex:p2 "hallo"@de .
+		ex:s ex:p3 "2020-01-01"^^xsd:date .
+		ex:s ex:p4 "esc\"aped\n" .
+		ex:s ex:p5 3.14 .
+		ex:s ex:p6 1.5e3 .
+		ex:s ex:p7 true .
+		ex:s ex:p8 false .
+		ex:s ex:p9 """long
+string""" .
+	`)
+	want := []Triple{
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p1"), Literal("plain")},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p2"), LangLiteral("hallo", "de")},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p3"), TypedLiteral("2020-01-01", XSDDate)},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p4"), Literal("esc\"aped\n")},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p5"), TypedLiteral("3.14", XSDDecimal)},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p6"), TypedLiteral("1.5e3", XSDDouble)},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p7"), TypedLiteral("true", XSDBoolean)},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p8"), TypedLiteral("false", XSDBoolean)},
+		{IRI("http://ex.org/s"), IRI("http://ex.org/p9"), Literal("long\nstring")},
+	}
+	for _, w := range want {
+		if !g.Has(w) {
+			t.Errorf("missing %v", w)
+		}
+	}
+}
+
+func TestTurtleBlankNodes(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		_:b1 ex:p "x" .
+		ex:s ex:knows [ ex:name "Anon" ; ex:age 5 ] .
+		ex:t ex:knows [] .
+	`)
+	if !g.Has(Triple{Blank("b1"), IRI("http://ex.org/p"), Literal("x")}) {
+		t.Fatal("labelled blank node missing")
+	}
+	// the anon node produced 2 inner triples + 1 outer + the empty []
+	if g.Size() != 5 {
+		t.Fatalf("size = %d, want 5", g.Size())
+	}
+}
+
+func TestTurtleCollections(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		ex:s ex:list ( "a" "b" ) .
+		ex:t ex:list () .
+	`)
+	// list of 2: 1 outer + 4 list triples; empty list: outer only (nil object).
+	if g.Size() != 6 {
+		t.Fatalf("size = %d, want 6", g.Size())
+	}
+	nilIRI := IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#nil")
+	if !g.Has(Triple{IRI("http://ex.org/t"), IRI("http://ex.org/list"), nilIRI}) {
+		t.Fatal("empty collection should be rdf:nil")
+	}
+}
+
+func TestTurtleBase(t *testing.T) {
+	g := parseTurtle(t, `
+		@base <http://ex.org/> .
+		<alice> <knows> <bob> .
+	`)
+	if !g.Has(Triple{IRI("http://ex.org/alice"), IRI("http://ex.org/knows"), IRI("http://ex.org/bob")}) {
+		t.Fatalf("base resolution failed: %v", g.Triples())
+	}
+}
+
+func TestTurtleComments(t *testing.T) {
+	g := parseTurtle(t, `
+		# leading comment
+		<http://a> <http://p> "v" . # trailing comment
+		# final comment
+	`)
+	if g.Size() != 1 {
+		t.Fatalf("size = %d", g.Size())
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := []string{
+		`<http://a> <http://p> .`,
+		`<http://a> <http://p> "x"`,
+		`@prefix ex <http://e> .`,
+		`ex:a ex:b ex:c .`, // undeclared prefix
+		`<http://a> <http://p> "unterminated .`,
+		`@prefix ex: <http://e> ex:a ex:b "x" .`, // missing dot after @prefix
+		`<http://a> <http://p> ( "x" .`,
+		`<http://a> <http://p> [ <http://q> "x" .`,
+	}
+	for _, in := range bad {
+		g := NewGraph()
+		if _, err := ReadTurtle(strings.NewReader(in), g); err == nil {
+			t.Errorf("ReadTurtle(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTurtleErrorReportsLine(t *testing.T) {
+	in := "<http://a> <http://p> \"ok\" .\n\nbroken ttl here\n"
+	g := NewGraph()
+	_, err := ReadTurtle(strings.NewReader(in), g)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error = %v, want line 3 report", err)
+	}
+}
+
+func TestTurtleCountsTriples(t *testing.T) {
+	g := NewGraph()
+	n, err := ReadTurtle(strings.NewReader(`<http://a> <http://p> "x", "y" .`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+// TestTurtleNTriplesAgreement: a document expressible in both syntaxes
+// must parse to the same graph.
+func TestTurtleNTriplesAgreement(t *testing.T) {
+	nt := `<http://e/1> <http://p/name> "Ada \"L\"" .
+<http://e/1> <http://p/born> "1815-12-10"^^<` + XSDDate + `> .
+<http://e/2> <http://p/label> "Bob"@en .
+_:b <http://p/ref> <http://e/1> .
+`
+	ttl := `@prefix p: <http://p/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+<http://e/1> p:name "Ada \"L\"" ; p:born "1815-12-10"^^xsd:date .
+<http://e/2> p:label "Bob"@en .
+_:b p:ref <http://e/1> .
+`
+	g1 := NewGraph()
+	if _, err := ReadNTriples(strings.NewReader(nt), g1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGraph()
+	if _, err := ReadTurtle(strings.NewReader(ttl), g2); err != nil {
+		t.Fatal(err)
+	}
+	if g1.Size() != g2.Size() {
+		t.Fatalf("sizes differ: %d vs %d", g1.Size(), g2.Size())
+	}
+	for _, tri := range g1.Triples() {
+		if !g2.Has(tri) {
+			t.Errorf("turtle graph missing %v", tri)
+		}
+	}
+}
+
+// TestTurtleWriteNTriplesRoundTrip: any Turtle-parsed graph survives a
+// serialize-as-N-Triples round trip.
+func TestTurtleWriteNTriplesRoundTrip(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		ex:s a ex:Person ; ex:likes ( "a" "b" ) ; ex:knows [ ex:name "Anon" ] .
+	`)
+	var buf strings.Builder
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGraph()
+	if _, err := ReadNTriples(strings.NewReader(buf.String()), g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Size() != g.Size() {
+		t.Fatalf("round trip size %d, want %d", g2.Size(), g.Size())
+	}
+}
+
+func TestTurtleTrailingSemicolon(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex.org/> .
+		ex:s ex:p "x" ; .
+	`)
+	if g.Size() != 1 {
+		t.Fatalf("size = %d", g.Size())
+	}
+}

@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTurtle serializes g as Turtle: prefix declarations for the given
+// namespace map (name → IRI prefix), triples grouped by subject with
+// ';' predicate lists and ',' object lists, 'a' for rdf:type, and
+// shorthand for integer/decimal/boolean literals. Subjects, predicates
+// and objects are emitted in deterministic (dictionary-order) term
+// order.
+func WriteTurtle(w io.Writer, g *Graph, prefixes map[string]string) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(prefixes))
+	for name := range prefixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(bw, "@prefix %s: <%s> .\n", name, prefixes[name]); err != nil {
+			return err
+		}
+	}
+	if len(names) > 0 {
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+
+	// Longest-prefix-wins compaction.
+	type prefixEntry struct{ name, iri string }
+	entries := make([]prefixEntry, 0, len(prefixes))
+	for name, iri := range prefixes {
+		entries = append(entries, prefixEntry{name: name, iri: iri})
+	}
+	sort.Slice(entries, func(i, j int) bool { return len(entries[i].iri) > len(entries[j].iri) })
+
+	var render func(t Term, allowA bool) string
+	render = func(t Term, allowA bool) string {
+		switch t.Kind {
+		case KindIRI:
+			if allowA && t.Value == RDFType {
+				return "a"
+			}
+			for _, e := range entries {
+				if strings.HasPrefix(t.Value, e.iri) {
+					local := t.Value[len(e.iri):]
+					if isTurtleLocalName(local) {
+						return e.name + ":" + local
+					}
+				}
+			}
+			return "<" + t.Value + ">"
+		case KindBlank:
+			return "_:" + t.Value
+		default:
+			switch t.EffectiveDatatype() {
+			case XSDInteger, XSDDecimal:
+				if isTurtleNumber(t.Value) {
+					return t.Value
+				}
+			case XSDBoolean:
+				if t.Value == "true" || t.Value == "false" {
+					return t.Value
+				}
+			}
+			s := `"` + escapeLiteral(t.Value) + `"`
+			if t.Lang != "" {
+				return s + "@" + t.Lang
+			}
+			if dt := t.EffectiveDatatype(); dt != XSDString {
+				return s + "^^" + render(IRI(dt), false)
+			}
+			return s
+		}
+	}
+
+	d := g.Dict()
+	for _, sid := range g.SubjectIDs() {
+		subj := d.Term(sid)
+		preds := g.PredicatesOf(sid)
+		if _, err := fmt.Fprintf(bw, "%s ", render(subj, false)); err != nil {
+			return err
+		}
+		for pi, pid := range preds {
+			objs := append([]ID(nil), g.Objects(sid, pid)...)
+			sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+			if pi > 0 {
+				if _, err := fmt.Fprint(bw, " ;\n\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%s ", render(d.Term(pid), true)); err != nil {
+				return err
+			}
+			for oi, oid := range objs {
+				if oi > 0 {
+					if _, err := fmt.Fprint(bw, ", "); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprint(bw, render(d.Term(oid), false)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(bw, " ."); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func isTurtleLocalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isTurtleNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i++
+	}
+	digits, dots := 0, 0
+	for ; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+			digits++
+		case s[i] == '.':
+			dots++
+		default:
+			return false
+		}
+	}
+	return digits > 0 && dots <= 1 && !strings.HasSuffix(s, ".")
+}

@@ -1,0 +1,95 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func writerGraph() *Graph {
+	g := NewGraph()
+	s := IRI("http://ex.org/alice")
+	g.Insert(Triple{S: s, P: IRI(RDFType), O: IRI("http://ex.org/Person")})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/name"), O: Literal("Alice \"A\"")})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/age"), O: TypedLiteral("30", XSDInteger)})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/height"), O: TypedLiteral("1.7", XSDDecimal)})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/active"), O: TypedLiteral("true", XSDBoolean)})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/likes"), O: Literal("x")})
+	g.Insert(Triple{S: s, P: IRI("http://ex.org/likes"), O: Literal("y")})
+	g.Insert(Triple{S: IRI("http://ex.org/bob"), P: IRI("http://ex.org/born"), O: TypedLiteral("1990-01-02", XSDDate)})
+	g.Insert(Triple{S: Blank("n1"), P: IRI("http://ex.org/p"), O: LangLiteral("salut", "fr")})
+	return g
+}
+
+func TestWriteTurtleRoundTrip(t *testing.T) {
+	g := writerGraph()
+	var buf strings.Builder
+	err := WriteTurtle(&buf, g, map[string]string{"ex": "http://ex.org/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	g2 := NewGraph()
+	if _, err := ReadTurtle(strings.NewReader(out), g2); err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, out)
+	}
+	if g2.Size() != g.Size() {
+		t.Fatalf("round trip size %d, want %d\n%s", g2.Size(), g.Size(), out)
+	}
+	for _, tri := range g.Triples() {
+		if !g2.Has(tri) {
+			t.Errorf("round trip lost %v\noutput:\n%s", tri, out)
+		}
+	}
+}
+
+func TestWriteTurtleUsesShorthand(t *testing.T) {
+	g := writerGraph()
+	var buf strings.Builder
+	if err := WriteTurtle(&buf, g, map[string]string{"ex": "http://ex.org/"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@prefix ex: <http://ex.org/>", "ex:alice", " a ex:Person", "ex:age 30", "1.7", "true", `"x", "y"`, `"salut"@fr`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "<http://ex.org/name>") {
+		t.Errorf("prefix not applied:\n%s", out)
+	}
+}
+
+func TestWriteTurtleNoPrefixes(t *testing.T) {
+	g := NewGraph()
+	g.Insert(Triple{S: IRI("http://a"), P: IRI("http://p"), O: Literal("v")})
+	var buf strings.Builder
+	if err := WriteTurtle(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<http://a> <http://p> \"v\" .") {
+		t.Fatalf("plain output wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteTurtleDeterministic(t *testing.T) {
+	g := writerGraph()
+	render := func() string {
+		var buf strings.Builder
+		if err := WriteTurtle(&buf, g, map[string]string{"ex": "http://ex.org/"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("output not deterministic")
+	}
+}
+
+func TestIsTurtleHelpers(t *testing.T) {
+	if !isTurtleLocalName("abc_1-x") || isTurtleLocalName("") || isTurtleLocalName("a b") || isTurtleLocalName("a/b") {
+		t.Fatal("isTurtleLocalName wrong")
+	}
+	if !isTurtleNumber("42") || !isTurtleNumber("-3.5") || isTurtleNumber("") || isTurtleNumber("1.") || isTurtleNumber("1e5") || isTurtleNumber("..") {
+		t.Fatal("isTurtleNumber wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEpsilonGreedyDistribution verifies the §4.4.1 guarantee
+// π(s,a) ≥ ε/|A(s)| > 0: every action keeps non-zero probability after
+// policy improvement, and the greedy action receives the largest share.
+func TestEpsilonGreedyDistribution(t *testing.T) {
+	const eps = 0.3
+	c := New[int, int](eps, rand.New(rand.NewSource(1)))
+	actions := []int{0, 1, 2, 3}
+	// Make action 2 clearly the best.
+	for _, a := range actions {
+		reward := -1.0
+		if a == 2 {
+			reward = 1.0
+		}
+		c.RecordReturn(1, a, reward)
+	}
+	c.EndEpisode()
+
+	const trials = 40000
+	counts := map[int]int{}
+	for i := 0; i < trials; i++ {
+		a, _ := c.ChooseAction(1, actions)
+		counts[a]++
+	}
+	// Expected: greedy with prob (1-ε) + ε/|A| = 0.775; others ε/|A| = 0.075.
+	greedyFrac := float64(counts[2]) / trials
+	if greedyFrac < 0.74 || greedyFrac > 0.81 {
+		t.Errorf("greedy fraction = %.3f, want ≈ 0.775", greedyFrac)
+	}
+	for _, a := range []int{0, 1, 3} {
+		frac := float64(counts[a]) / trials
+		if frac < 0.05 || frac > 0.10 {
+			t.Errorf("non-greedy action %d fraction = %.3f, want ≈ 0.075", a, frac)
+		}
+	}
+}
+
+// TestPolicyImprovementProperty is the empirical counterpart of the §5
+// soundness proof: on random bandit instances, the expected return of
+// the improved (greedy) policy is at least that of the uniform policy
+// it replaces.
+func TestPolicyImprovementProperty(t *testing.T) {
+	prop := func(seed int64, meansRaw [4]int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New[int, int](0, rng) // ε=0: pure greedy after improvement
+		means := make([]float64, len(meansRaw))
+		for i, m := range meansRaw {
+			means[i] = float64(m) / 32
+		}
+		actions := []int{0, 1, 2, 3}
+
+		// Policy evaluation under the uniform (arbitrary) initial
+		// policy: sample each action several times with noisy rewards.
+		noise := rand.New(rand.NewSource(seed + 1))
+		uniformReturn := 0.0
+		samples := 0
+		for round := 0; round < 12; round++ {
+			a, ok := c.ChooseAction(1, actions)
+			if !ok {
+				return false
+			}
+			r := means[a] + (noise.Float64()-0.5)*0.1
+			c.RecordReturn(1, a, r)
+			uniformReturn += r
+			samples++
+		}
+		uniformReturn /= float64(samples)
+		c.EndEpisode()
+
+		// The improved policy's action must have an estimated value at
+		// least the average return of the evaluation phase (argmax ≥ mean).
+		g, ok := c.GreedyAction(1)
+		if !ok {
+			return false
+		}
+		return c.Q(1, g) >= uniformReturn-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFirstVisitAcrossEpisodesProperty: Visit admits a state exactly
+// once per episode regardless of call pattern.
+func TestFirstVisitAcrossEpisodesProperty(t *testing.T) {
+	prop := func(statesRaw []uint8, episodes uint8) bool {
+		c := New[int, int](0.1, rand.New(rand.NewSource(5)))
+		eps := int(episodes%5) + 1
+		for e := 0; e < eps; e++ {
+			admitted := map[int]int{}
+			for _, s := range statesRaw {
+				if c.Visit(int(s)) {
+					admitted[int(s)]++
+				}
+			}
+			for s, n := range admitted {
+				if n != 1 {
+					_ = s
+					return false
+				}
+			}
+			c.EndEpisode()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package rl
+
+// TableEntry is one (state, action) row of the exported action-value
+// table: Sum and N reconstruct the Returns average.
+type TableEntry[S comparable, A comparable] struct {
+	State  S
+	Action A
+	Sum    float64
+	N      int
+}
+
+// PolicyEntry is one state's greedy action in the exported policy.
+type PolicyEntry[S comparable, A comparable] struct {
+	State  S
+	Action A
+}
+
+// Export dumps the learned action-value table and greedy policy. The
+// per-episode first-visit bookkeeping is transient and not exported;
+// snapshots are intended to be taken between episodes.
+func (c *Controller[S, A]) Export() (table []TableEntry[S, A], policy []PolicyEntry[S, A]) {
+	for s, actions := range c.q {
+		for _, a := range c.order[s] {
+			r := actions[a]
+			table = append(table, TableEntry[S, A]{State: s, Action: a, Sum: r.sum, N: r.n})
+		}
+	}
+	for s, a := range c.policy {
+		policy = append(policy, PolicyEntry[S, A]{State: s, Action: a})
+	}
+	return table, policy
+}
+
+// Import replaces the controller's learned state with a previously
+// exported table and policy. Entries are applied in slice order, which
+// also fixes the deterministic tie-break order of argmax.
+func (c *Controller[S, A]) Import(table []TableEntry[S, A], policy []PolicyEntry[S, A]) {
+	c.q = make(map[S]map[A]returns, len(table))
+	c.order = make(map[S][]A, len(table))
+	c.policy = make(map[S]A, len(policy))
+	c.visited = make(map[S]bool)
+	c.episode = make(map[S]struct{})
+	for _, e := range table {
+		m := c.q[e.State]
+		if m == nil {
+			m = make(map[A]returns)
+			c.q[e.State] = m
+		}
+		if _, seen := m[e.Action]; !seen {
+			c.order[e.State] = append(c.order[e.State], e.Action)
+		}
+		m[e.Action] = returns{sum: e.Sum, n: e.N}
+	}
+	for _, p := range policy {
+		c.policy[p.State] = p.Action
+	}
+}

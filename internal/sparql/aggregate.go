@@ -1,0 +1,187 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"alex/internal/rdf"
+)
+
+// QueryForm distinguishes SELECT from ASK queries.
+type QueryForm uint8
+
+// Supported query forms.
+const (
+	FormSelect QueryForm = iota
+	FormAsk
+)
+
+// AggFunc is an aggregate function name.
+type AggFunc uint8
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = map[string]AggFunc{
+	"COUNT": AggCount,
+	"SUM":   AggSum,
+	"AVG":   AggAvg,
+	"MIN":   AggMin,
+	"MAX":   AggMax,
+}
+
+// AggSpec is one aggregate projection: (FUNC(?var) AS ?name).
+// Var == "" means COUNT(*).
+type AggSpec struct {
+	Func AggFunc
+	Var  string
+	As   string
+	// Distinct applies COUNT(DISTINCT ?v) semantics.
+	Distinct bool
+}
+
+// aggregate groups rows by the GROUP BY variables and computes the
+// aggregate projections, returning one row per group. When no GROUP BY
+// is present all rows form a single group.
+func aggregate(q *Query, rows []Binding) ([]Binding, error) {
+	type group struct {
+		key  Binding
+		rows []Binding
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, row := range rows {
+		k := bindingKey(q.GroupBy, row)
+		g := index[k]
+		if g == nil {
+			key := Binding{}
+			for _, v := range q.GroupBy {
+				if t, ok := row[v]; ok {
+					key[v] = t
+				}
+			}
+			g = &group{key: key}
+			index[k] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// A grouped query over zero rows yields zero groups; an ungrouped
+	// aggregate over zero rows yields one empty group (COUNT() = 0).
+	if len(groups) == 0 && len(q.GroupBy) == 0 {
+		groups = append(groups, &group{key: Binding{}})
+	}
+
+	out := make([]Binding, 0, len(groups))
+	for _, g := range groups {
+		row := g.key.Copy()
+		for _, spec := range q.Aggregates {
+			val, err := computeAggregate(spec, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			row[spec.As] = val
+		}
+		out = append(out, row)
+	}
+	// Deterministic group order.
+	sort.Slice(out, func(i, j int) bool {
+		return bindingKey(q.GroupBy, out[i]) < bindingKey(q.GroupBy, out[j])
+	})
+	return out, nil
+}
+
+func computeAggregate(spec AggSpec, rows []Binding) (rdf.Term, error) {
+	switch spec.Func {
+	case AggCount:
+		n := 0
+		if spec.Var == "" {
+			n = len(rows)
+		} else if spec.Distinct {
+			seen := map[rdf.Term]bool{}
+			for _, r := range rows {
+				if t, ok := r[spec.Var]; ok && !seen[t] {
+					seen[t] = true
+					n++
+				}
+			}
+		} else {
+			for _, r := range rows {
+				if _, ok := r[spec.Var]; ok {
+					n++
+				}
+			}
+		}
+		return rdf.TypedLiteral(strconv.Itoa(n), rdf.XSDInteger), nil
+	case AggSum, AggAvg:
+		sum := 0.0
+		n := 0
+		for _, r := range rows {
+			t, ok := r[spec.Var]
+			if !ok {
+				continue
+			}
+			f, err := strconv.ParseFloat(t.Value, 64)
+			if err != nil {
+				return rdf.Term{}, fmt.Errorf("sparql: %s over non-numeric value %q", fnName(spec.Func), t.Value)
+			}
+			sum += f
+			n++
+		}
+		if spec.Func == AggAvg {
+			if n == 0 {
+				return rdf.TypedLiteral("0", rdf.XSDDouble), nil
+			}
+			return rdf.TypedLiteral(formatFloat(sum/float64(n)), rdf.XSDDouble), nil
+		}
+		return rdf.TypedLiteral(formatFloat(sum), rdf.XSDDecimal), nil
+	case AggMin, AggMax:
+		var best rdf.Term
+		have := false
+		for _, r := range rows {
+			t, ok := r[spec.Var]
+			if !ok {
+				continue
+			}
+			if !have {
+				best = t
+				have = true
+				continue
+			}
+			c := compareTermsForOrder(t, best)
+			if spec.Func == AggMin && c < 0 || spec.Func == AggMax && c > 0 {
+				best = t
+			}
+		}
+		if !have {
+			return rdf.Literal(""), nil
+		}
+		return best, nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown aggregate")
+}
+
+func fnName(f AggFunc) string {
+	for name, fn := range aggNames {
+		if fn == f {
+			return name
+		}
+	}
+	return "?"
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	return s
+}

@@ -1,0 +1,355 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alex/internal/rdf"
+)
+
+// Result holds query solutions in projection order. For ASK queries
+// Rows is empty and Ask carries the answer.
+type Result struct {
+	Vars []string
+	Rows []Binding
+	Ask  bool
+}
+
+// Execute parses and evaluates a query against a graph.
+func Execute(g *rdf.Graph, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(g, q)
+}
+
+// Eval evaluates a parsed query against a graph.
+func Eval(g *rdf.Graph, q *Query) (*Result, error) {
+	rows, err := evalGroup(g, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	return Finalize(q, rows)
+}
+
+// Finalize applies aggregation, projection, DISTINCT, ORDER BY, OFFSET,
+// and LIMIT to raw solutions. It is shared with the federated engine.
+func Finalize(q *Query, rows []Binding) (*Result, error) {
+	if q.Form == FormAsk {
+		return &Result{Ask: len(rows) > 0}, nil
+	}
+	vars := append([]string(nil), q.Vars...)
+	if len(q.Aggregates) > 0 {
+		agg, err := aggregate(q, rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = agg
+		// Projection: the grouped variables that were projected, then
+		// the aggregate result names.
+		for _, spec := range q.Aggregates {
+			vars = append(vars, spec.As)
+		}
+	}
+	if len(vars) == 0 {
+		seen := map[string]bool{}
+		collectVars(q.Where, func(v string) {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		})
+	}
+
+	projected := make([]Binding, 0, len(rows))
+	for _, row := range rows {
+		pr := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				pr[v] = t
+			}
+		}
+		projected = append(projected, pr)
+	}
+
+	if q.Distinct {
+		seen := map[string]bool{}
+		uniq := projected[:0]
+		for _, row := range projected {
+			k := bindingKey(vars, row)
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, row)
+			}
+		}
+		projected = uniq
+	}
+
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(projected, func(i, j int) bool {
+			for _, key := range q.OrderBy {
+				c := compareTermsForOrder(projected[i][key.Var], projected[j][key.Var])
+				if c == 0 {
+					continue
+				}
+				if key.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: projected}, nil
+}
+
+func collectVars(g *GroupGraphPattern, fn func(string)) {
+	if g == nil {
+		return
+	}
+	for _, tp := range g.Triples {
+		for _, v := range tp.Vars() {
+			fn(v)
+		}
+	}
+	for _, o := range g.Optionals {
+		collectVars(o, fn)
+	}
+	for _, alts := range g.Unions {
+		for _, a := range alts {
+			collectVars(a, fn)
+		}
+	}
+}
+
+func bindingKey(vars []string, b Binding) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			sb.WriteString(t.String())
+		}
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func compareTermsForOrder(a, b rdf.Term) int {
+	as, bs := a.Value, b.Value
+	// numeric-aware ordering
+	var af, bf float64
+	if _, errA := fmt.Sscanf(as, "%g", &af); errA == nil {
+		if _, errB := fmt.Sscanf(bs, "%g", &bf); errB == nil {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(as, bs)
+}
+
+// evalGroup evaluates a group pattern, extending each input binding.
+func evalGroup(g *rdf.Graph, grp *GroupGraphPattern, input []Binding) ([]Binding, error) {
+	rows := input
+
+	// Basic graph pattern: extend bindings pattern by pattern in
+	// selectivity order (fewest estimated matches first, bound vars
+	// propagated as we go).
+	patterns := append([]TriplePattern(nil), grp.Triples...)
+	done := make([]bool, len(patterns))
+	for range patterns {
+		idx := chooseNextPattern(g, patterns, done, rows)
+		if idx < 0 {
+			break
+		}
+		done[idx] = true
+		var next []Binding
+		for _, b := range rows {
+			matchPattern(g, patterns[idx], b, func(nb Binding) {
+				next = append(next, nb)
+			})
+		}
+		rows = next
+		if len(rows) == 0 {
+			break
+		}
+	}
+
+	// UNION blocks join with current rows.
+	for _, alts := range grp.Unions {
+		var merged []Binding
+		for _, alt := range alts {
+			sub, err := evalGroup(g, alt, rows)
+			if err != nil {
+				return nil, err
+			}
+			merged = append(merged, sub...)
+		}
+		rows = merged
+		if len(rows) == 0 {
+			break
+		}
+	}
+
+	// OPTIONAL: left outer join.
+	for _, opt := range grp.Optionals {
+		var next []Binding
+		for _, b := range rows {
+			sub, err := evalGroup(g, opt, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, sub...)
+			}
+		}
+		rows = next
+	}
+
+	// FILTER: errors make the filter false (SPARQL semantics).
+	for _, f := range grp.Filters {
+		var kept []Binding
+		for _, b := range rows {
+			v, err := f.Eval(b)
+			if err != nil {
+				continue
+			}
+			ok, err := effectiveBool(v)
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, b)
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// chooseNextPattern picks the undone pattern with the lowest estimated
+// cardinality given the variables bound in the first row (a cheap but
+// effective greedy join order).
+func chooseNextPattern(g *rdf.Graph, patterns []TriplePattern, done []bool, rows []Binding) int {
+	best := -1
+	bestCost := -1
+	var sample Binding
+	if len(rows) > 0 {
+		sample = rows[0]
+	}
+	for i, tp := range patterns {
+		if done[i] {
+			continue
+		}
+		cost := estimate(g, tp, sample)
+		if best < 0 || cost < bestCost {
+			best = i
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+func estimate(g *rdf.Graph, tp TriplePattern, b Binding) int {
+	s, haveS := resolveNode(g, tp.S, b)
+	p, haveP := resolveNode(g, tp.P, b)
+	o, haveO := resolveNode(g, tp.O, b)
+	if s == rdf.NoID && haveS || p == rdf.NoID && haveP || o == rdf.NoID && haveO {
+		return 0 // a bound term not in the graph: zero matches
+	}
+	switch {
+	case haveS && haveP && haveO:
+		return 1
+	case haveS && haveP:
+		return len(g.Objects(s, p))
+	case haveP && haveO:
+		return len(g.Subjects(p, o))
+	case haveS || haveO:
+		return 64
+	case haveP:
+		return 4096
+	default:
+		return g.Size()
+	}
+}
+
+// resolveNode maps a pattern node to a term ID under a binding. The bool
+// reports whether the position is bound. A bound term missing from the
+// graph's dictionary resolves to (NoID, true).
+func resolveNode(g *rdf.Graph, n Node, b Binding) (rdf.ID, bool) {
+	var t rdf.Term
+	if n.IsVar {
+		bound, ok := b[n.Var]
+		if !ok {
+			return rdf.NoID, false
+		}
+		t = bound
+	} else {
+		t = n.Term
+	}
+	id, ok := g.Dict().Lookup(t)
+	if !ok {
+		return rdf.NoID, true
+	}
+	return id, true
+}
+
+// matchPattern finds all extensions of binding b matching tp in g.
+func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding, emit func(Binding)) {
+	s, haveS := resolveNode(g, tp.S, b)
+	p, haveP := resolveNode(g, tp.P, b)
+	o, haveO := resolveNode(g, tp.O, b)
+	if haveS && s == rdf.NoID || haveP && p == rdf.NoID || haveO && o == rdf.NoID {
+		return
+	}
+	g.ForEachMatchIDs(s, p, o, haveS, haveP, haveO, func(ms, mp, mo rdf.ID) bool {
+		nb := b.Copy()
+		if tp.S.IsVar && !haveS {
+			nb[tp.S.Var] = g.Dict().Term(ms)
+		}
+		if tp.P.IsVar && !haveP {
+			nb[tp.P.Var] = g.Dict().Term(mp)
+		}
+		if tp.O.IsVar && !haveO {
+			nb[tp.O.Var] = g.Dict().Term(mo)
+		}
+		// same-variable repetition inside one pattern (?x ?p ?x etc.)
+		if !sameVarConsistent(tp, ms, mp, mo) {
+			return true
+		}
+		emit(nb)
+		return true
+	})
+}
+
+// sameVarConsistent rejects matches where one variable occupies several
+// positions of the pattern but matched different terms.
+func sameVarConsistent(tp TriplePattern, s, p, o rdf.ID) bool {
+	if tp.S.IsVar && tp.O.IsVar && tp.S.Var == tp.O.Var && s != o {
+		return false
+	}
+	if tp.S.IsVar && tp.P.IsVar && tp.S.Var == tp.P.Var && s != p {
+		return false
+	}
+	if tp.P.IsVar && tp.O.IsVar && tp.P.Var == tp.O.Var && p != o {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package sparql
+
+import "testing"
+
+func kinds(t *testing.T, in string) []tokenKind {
+	t.Helper()
+	toks, err := lex(in)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", in, err)
+	}
+	out := make([]tokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	got := kinds(t, `SELECT ?x WHERE { ?x <http://p> "v" . }`)
+	want := []tokenKind{tokKeyword, tokVar, tokKeyword, tokLBrace, tokVar, tokIRI, tokString, tokDot, tokRBrace, tokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexLessThanVsIRI(t *testing.T) {
+	// '<' followed by '>' before whitespace is an IRI; otherwise an
+	// operator.
+	toks, err := lex(`FILTER(?x < 5 && ?y <= 3) <http://iri>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLt, sawLte, sawIRI bool
+	for _, tok := range toks {
+		switch tok.kind {
+		case tokLt:
+			sawLt = true
+		case tokLte:
+			sawLte = true
+		case tokIRI:
+			sawIRI = true
+		}
+	}
+	if !sawLt || !sawLte || !sawIRI {
+		t.Fatalf("lt=%v lte=%v iri=%v", sawLt, sawLte, sawIRI)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex(`= != > >= && || ! ^^`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{tokEq, tokNeq, tokGt, tokGte, tokAnd, tokOr, tokNot, tokDTSep, tokEOF}
+	for i, w := range want {
+		if toks[i].kind != w {
+			t.Fatalf("token %d = %d, want %d", i, toks[i].kind, w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex(`42 -7 3.25 +1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"42", "-7", "3.25", "+1"}
+	for i, want := range texts {
+		if toks[i].kind != tokNumber || toks[i].text != want {
+			t.Fatalf("token %d = %q (%d)", i, toks[i].text, toks[i].kind)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex(`"a\nb\t\"c\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "a\nb\t\"c\\" {
+		t.Fatalf("string = %q", toks[0].text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("SELECT # a comment\n?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].kind != tokVar {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexLangTag(t *testing.T) {
+	toks, err := lex(`"hola"@es`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokLangTag || toks[1].text != "es" {
+		t.Fatalf("lang tag = %+v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`"dangling\`,
+		`"bad\q"`,
+		`? `,
+		`@`,
+		`&x`,
+		`|x`,
+		`^x`,
+		"\x01",
+	}
+	for _, in := range bad {
+		if _, err := lex(in); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLexPNameVsKeyword(t *testing.T) {
+	toks, err := lex(`foaf:name select COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokPName || toks[0].text != "foaf:name" {
+		t.Fatalf("pname = %+v", toks[0])
+	}
+	if toks[1].kind != tokKeyword || toks[1].text != "SELECT" {
+		t.Fatalf("keyword casing = %+v", toks[1])
+	}
+	if toks[2].kind != tokKeyword || toks[2].text != "COUNT" {
+		t.Fatalf("bare function word = %+v", toks[2])
+	}
+}
+
+func TestLexAKeywordBoundary(t *testing.T) {
+	toks, err := lex(`?x a ?t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokA {
+		t.Fatalf("'a' lexed as %+v", toks[1])
+	}
+	// 'a' inside a longer word must not be the keyword.
+	toks, err = lex(`?x abc:d ?t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokPName {
+		t.Fatalf("'abc:d' lexed as %+v", toks[1])
+	}
+}
+
+func TestLexTrailingDotAfterPName(t *testing.T) {
+	toks, err := lex(`ex:thing .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "ex:thing" || toks[1].kind != tokDot {
+		t.Fatalf("tokens = %+v", toks[:2])
+	}
+}

@@ -1,0 +1,183 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+// bruteForceBGP evaluates a basic graph pattern by enumerating every
+// assignment of graph terms to variables — exponential, but an
+// unarguable reference for small cases.
+func bruteForceBGP(g *rdf.Graph, patterns []TriplePattern) []Binding {
+	varSet := map[string]bool{}
+	for _, tp := range patterns {
+		for _, v := range tp.Vars() {
+			varSet[v] = true
+		}
+	}
+	vars := make([]string, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	// Candidate terms: every term in the graph.
+	termSet := map[rdf.Term]bool{}
+	for _, t := range g.Triples() {
+		termSet[t.S] = true
+		termSet[t.P] = true
+		termSet[t.O] = true
+	}
+	terms := make([]rdf.Term, 0, len(termSet))
+	for t := range termSet {
+		terms = append(terms, t)
+	}
+
+	var out []Binding
+	var rec func(i int, b Binding)
+	rec = func(i int, b Binding) {
+		if i == len(vars) {
+			for _, tp := range patterns {
+				tri := rdf.Triple{
+					S: substitute(tp.S, b),
+					P: substitute(tp.P, b),
+					O: substitute(tp.O, b),
+				}
+				if !g.Has(tri) {
+					return
+				}
+			}
+			out = append(out, b.Copy())
+			return
+		}
+		for _, t := range terms {
+			b[vars[i]] = t
+			rec(i+1, b)
+		}
+		delete(b, vars[i])
+	}
+	rec(0, Binding{})
+	return out
+}
+
+func substitute(n Node, b Binding) rdf.Term {
+	if n.IsVar {
+		return b[n.Var]
+	}
+	return n.Term
+}
+
+func canonicalize(vars []string, rows []Binding) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		var sb strings.Builder
+		for _, v := range vars {
+			if t, ok := r[v]; ok {
+				sb.WriteString(t.String())
+			}
+			sb.WriteByte('|')
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEngineMatchesBruteForce compares the engine against the reference
+// on randomly generated small graphs and random 1-3 pattern BGPs.
+func TestEngineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250706))
+	for trial := 0; trial < 60; trial++ {
+		g := rdf.NewGraph()
+		nTriples := 3 + rng.Intn(10)
+		for i := 0; i < nTriples; i++ {
+			g.Insert(rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://s/%d", rng.Intn(4))),
+				P: rdf.IRI(fmt.Sprintf("http://p/%d", rng.Intn(3))),
+				O: rdf.Literal(fmt.Sprintf("o%d", rng.Intn(4))),
+			})
+		}
+		nPatterns := 1 + rng.Intn(3)
+		patterns := make([]TriplePattern, nPatterns)
+		varNames := []string{"a", "b", "c"}
+		node := func(kind int, pool string, n int) Node {
+			if rng.Intn(2) == 0 {
+				return VarNode(varNames[rng.Intn(len(varNames))])
+			}
+			switch kind {
+			case 0:
+				return TermNode(rdf.IRI(fmt.Sprintf("http://%s/%d", pool, rng.Intn(n))))
+			default:
+				return TermNode(rdf.Literal(fmt.Sprintf("o%d", rng.Intn(n))))
+			}
+		}
+		for i := range patterns {
+			patterns[i] = TriplePattern{
+				S: node(0, "s", 4),
+				P: node(0, "p", 3),
+				O: node(1, "o", 4),
+			}
+		}
+
+		q := &Query{Limit: -1, Where: &GroupGraphPattern{Triples: patterns}}
+		got, err := Eval(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForceBGP(g, patterns)
+
+		gotC := canonicalize(got.Vars, got.Rows)
+		wantC := canonicalize(got.Vars, want)
+		if len(gotC) != len(wantC) {
+			t.Fatalf("trial %d: engine %d rows, brute force %d rows\npatterns: %+v",
+				trial, len(gotC), len(wantC), patterns)
+		}
+		for i := range gotC {
+			if gotC[i] != wantC[i] {
+				t.Fatalf("trial %d: row %d differs:\n engine %s\n brute  %s", trial, i, gotC[i], wantC[i])
+			}
+		}
+	}
+}
+
+func BenchmarkBGPJoin(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 2000; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/%d", i))
+		g.Insert(rdf.Triple{S: s, P: rdf.IRI("http://p/knows"), O: rdf.IRI(fmt.Sprintf("http://e/%d", (i+1)%2000))})
+		g.Insert(rdf.Triple{S: s, P: rdf.IRI("http://p/name"), O: rdf.Literal(fmt.Sprintf("entity-%d", i))})
+	}
+	q, err := Parse(`SELECT ?n WHERE {
+		?a <http://p/name> "entity-500" .
+		?a <http://p/knows> ?b .
+		?b <http://p/knows> ?c .
+		?c <http://p/name> ?n .
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Eval(g, q)
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = `PREFIX ex: <http://ex/> SELECT DISTINCT ?x ?y WHERE {
+		?x ex:p ?y . FILTER(?y > 3 && CONTAINS(STR(?x), "e"))
+		OPTIONAL { ?x ex:q ?z . }
+	} ORDER BY DESC(?y) LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

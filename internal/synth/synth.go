@@ -1,0 +1,494 @@
+// Package synth generates deterministic synthetic RDF dataset pairs that
+// stand in for the paper's real Linked Open Data dumps (Table 1). Each
+// profile is tuned so that the PARIS baseline's initial candidate links
+// land in the same quality regime the paper reports for that dataset
+// pair — low recall (DBpedia-NYTimes), low precision (DBpedia-Drugbank),
+// both low (DBpedia-Lexvo), and so on — which is what ALEX's behaviour
+// depends on. See DESIGN.md for the substitution rationale.
+//
+// The generator controls four phenomena:
+//
+//   - exact pairs: matched entities with identical key literals, which
+//     the PARIS baseline finds (recall knob);
+//   - variant pairs: matched entities whose names/dates are perturbed
+//     onto a dense similarity continuum that ALEX's range exploration
+//     can walk (the links ALEX discovers);
+//   - trap pairs: "false friends" sharing exact values while being
+//     different individuals, which PARIS links wrongly (precision knob);
+//   - a shared non-distinctive type value (owl:Thing-like) producing the
+//     feature whose exploration floods the candidate set — the behaviour
+//     the rollback optimization exists for (§4.2, §6.3).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// Profile describes one synthetic dataset pair.
+type Profile struct {
+	// Name identifies the profile ("dbpedia-nytimes", ...).
+	Name string
+	// Description says which paper experiment the profile backs.
+	Description string
+	// N1, N2 are entity counts of dataset 1 and dataset 2 (including
+	// matched, trap and filler entities).
+	N1, N2 int
+	// Matched is the number of ground-truth pairs.
+	Matched int
+	// ExactFrac is the fraction of matched pairs whose key literals are
+	// identical on both sides (what the PARIS baseline can find).
+	ExactFrac float64
+	// Traps is the number of false-friend pairs (exact shared values,
+	// different individuals).
+	Traps int
+	// AmbiguousFrac adds unmatched dataset-2 entities whose names are
+	// weak variants of matched names (wrong candidates inside
+	// exploration ranges), as a fraction of Matched.
+	AmbiguousFrac float64
+	// SharedTypeFrac is the fraction of entities per side carrying the
+	// shared non-distinctive type literal.
+	SharedTypeFrac float64
+	// VariantNoiseMax is the maximum number of perturbation operations
+	// applied to a non-exact matched pair (0 means the default of 3).
+	// Lower values cluster correct links tightly in feature-score space,
+	// the regime of the paper's specific-domain experiments where a
+	// handful of feedback items discovers most missing links.
+	VariantNoiseMax int
+	// EpisodeSize is the feedback episode size the paper uses with this
+	// pair (1000 in batch mode, 10 in the specific-domain setting).
+	EpisodeSize int
+	// Partitions is the equal-size partition count for the pair.
+	Partitions int
+	// Seed drives all randomness for reproducibility.
+	Seed int64
+}
+
+// Dataset is a generated dataset pair with ground truth.
+type Dataset struct {
+	Profile     Profile
+	Dict        *rdf.Dict
+	G1, G2      *rdf.Graph
+	Entities1   []rdf.ID
+	Entities2   []rdf.ID
+	GroundTruth links.Set
+}
+
+// Profiles returns all built-in profiles in presentation order, one per
+// dataset pair used in the paper's evaluation.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:        "dbpedia-nytimes",
+			Description: "Figure 2a: good initial precision, bad recall",
+			N1:          1200, N2: 700, Matched: 500,
+			ExactFrac: 0.20, Traps: 12, AmbiguousFrac: 0.6, SharedTypeFrac: 0.10,
+			EpisodeSize: 1000, Partitions: 9, Seed: 101,
+		},
+		{
+			Name:        "dbpedia-drugbank",
+			Description: "Figure 2b: bad initial precision, very good recall",
+			N1:          450, N2: 520, Matched: 150,
+			ExactFrac: 0.97, Traps: 330, AmbiguousFrac: 0.2, SharedTypeFrac: 0.10,
+			EpisodeSize: 1000, Partitions: 6, Seed: 102,
+		},
+		{
+			Name:        "dbpedia-lexvo",
+			Description: "Figure 2c: both precision and recall low initially",
+			N1:          700, N2: 450, Matched: 300,
+			ExactFrac: 0.35, Traps: 160, AmbiguousFrac: 0.5, SharedTypeFrac: 0.12,
+			EpisodeSize: 1000, Partitions: 6, Seed: 103,
+		},
+		{
+			Name:        "opencyc-nytimes",
+			Description: "Figure 3a",
+			N1:          700, N2: 420, Matched: 280,
+			ExactFrac: 0.25, Traps: 10, AmbiguousFrac: 0.5, SharedTypeFrac: 0.10,
+			EpisodeSize: 1000, Partitions: 6, Seed: 104,
+		},
+		{
+			Name:        "opencyc-drugbank",
+			Description: "Figure 3b",
+			N1:          260, N2: 280, Matched: 80,
+			ExactFrac: 0.95, Traps: 150, AmbiguousFrac: 0.2, SharedTypeFrac: 0.10,
+			EpisodeSize: 1000, Partitions: 4, Seed: 105,
+		},
+		{
+			Name:        "opencyc-lexvo",
+			Description: "Figure 3c",
+			N1:          220, N2: 160, Matched: 70,
+			ExactFrac: 0.40, Traps: 35, AmbiguousFrac: 0.4, SharedTypeFrac: 0.12,
+			EpisodeSize: 1000, Partitions: 3, Seed: 106,
+		},
+		{
+			Name:        "dbpedia-dogfood",
+			Description: "Figure 4a: specific domain (publications), episode size 10",
+			N1:          280, N2: 220, Matched: 100,
+			ExactFrac: 0.50, Traps: 25, AmbiguousFrac: 0.4, SharedTypeFrac: 0.12, VariantNoiseMax: 1,
+			EpisodeSize: 10, Partitions: 3, Seed: 107,
+		},
+		{
+			Name:        "opencyc-dogfood",
+			Description: "Figure 4b: specific domain (publications), episode size 10",
+			N1:          130, N2: 110, Matched: 45,
+			ExactFrac: 0.50, Traps: 12, AmbiguousFrac: 0.4, SharedTypeFrac: 0.12, VariantNoiseMax: 1,
+			EpisodeSize: 10, Partitions: 2, Seed: 108,
+		},
+		{
+			Name:        "dbpedia-nba-nytimes",
+			Description: "Figure 4c: NBA players extract, episode size 10",
+			N1:          120, N2: 95, Matched: 50,
+			ExactFrac: 0.40, Traps: 10, AmbiguousFrac: 0.5, SharedTypeFrac: 0.10, VariantNoiseMax: 1,
+			EpisodeSize: 10, Partitions: 2, Seed: 109,
+		},
+		{
+			Name:        "opencyc-nba-nytimes",
+			Description: "Figure 4d: NBA players extract, episode size 10",
+			N1:          60, N2: 50, Matched: 25,
+			ExactFrac: 0.40, Traps: 5, AmbiguousFrac: 0.5, SharedTypeFrac: 0.10, VariantNoiseMax: 1,
+			EpisodeSize: 10, Partitions: 2, Seed: 110,
+		},
+		{
+			Name:        "dbpedia-opencyc",
+			Description: "Figure 8: multi-domain stress test, largest pair",
+			N1:          2400, N2: 1500, Matched: 1000,
+			ExactFrac: 0.30, Traps: 120, AmbiguousFrac: 0.6, SharedTypeFrac: 0.10,
+			EpisodeSize: 1000, Partitions: 12, Seed: 111,
+		},
+	}
+}
+
+// ProfileByName returns the named built-in profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Scale returns a copy of p with all entity counts multiplied by f
+// (minimum 1 each), for quick tests and benchmarks.
+func (p Profile) Scale(f float64) Profile {
+	scale := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p.N1 = scale(p.N1)
+	p.N2 = scale(p.N2)
+	p.Matched = scale(p.Matched)
+	p.Traps = int(float64(p.Traps) * f)
+	return p
+}
+
+const (
+	ns1 = "http://ds1.example.org/"
+	ns2 = "http://ds2.example.org/"
+)
+
+// Predicate IRIs of the two vocabularies.
+var (
+	P1Label = rdf.IRI(ns1 + "onto/label")
+	P1Birth = rdf.IRI(ns1 + "onto/birthDate")
+	P1Type  = rdf.IRI(ns1 + "onto/type")
+	P1Cat   = rdf.IRI(ns1 + "onto/category")
+	P1Place = rdf.IRI(ns1 + "onto/birthPlace")
+	P1Rel   = rdf.IRI(ns1 + "onto/relatedTo")
+
+	P2Name  = rdf.IRI(ns2 + "prop/name")
+	P2Born  = rdf.IRI(ns2 + "prop/born")
+	P2Kind  = rdf.IRI(ns2 + "prop/kind")
+	P2Group = rdf.IRI(ns2 + "prop/group")
+	P2Place = rdf.IRI(ns2 + "prop/hometown")
+	P2Rel   = rdf.IRI(ns2 + "prop/connectedWith")
+)
+
+// E1IRI returns the IRI of dataset-1 entity i.
+func E1IRI(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sresource/E%d", ns1, i)) }
+
+// E2IRI returns the IRI of dataset-2 entity i.
+func E2IRI(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sresource/R%d", ns2, i)) }
+
+// Generate builds the dataset pair for a profile. Generation is fully
+// deterministic given Profile.Seed.
+func Generate(p Profile) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	d := rdf.NewDict()
+	ds := &Dataset{
+		Profile: p, Dict: d,
+		G1: rdf.NewGraphWithDict(d), G2: rdf.NewGraphWithDict(d),
+		GroundTruth: links.NewSet(),
+	}
+	g := &generator{p: p, rng: rng, ds: ds}
+	g.run()
+	return ds
+}
+
+type person struct {
+	name  string
+	born  time.Time
+	cat   string
+	place string
+}
+
+type generator struct {
+	p      Profile
+	rng    *rand.Rand
+	ds     *Dataset
+	n1     int // next dataset-1 entity index
+	n2     int // next dataset-2 entity index
+	cats   []string
+	places []string
+}
+
+func (g *generator) run() {
+	g.cats = categories(g.rng)
+	g.places = places(g.rng, g.p.N1/3+8)
+	matchedPeople := make([]person, g.p.Matched)
+	for i := range matchedPeople {
+		matchedPeople[i] = g.randomPerson()
+	}
+
+	exactCount := int(g.p.ExactFrac * float64(g.p.Matched))
+
+	// Matched pairs.
+	for i, per := range matchedPeople {
+		e1 := g.addEntity1(per)
+		var e2 rdf.ID
+		if i < exactCount {
+			e2 = g.addEntity2(per, 0)
+		} else {
+			e2 = g.addEntity2(per, 1+g.rng.Intn(g.variantNoiseMax()))
+		}
+		g.ds.GroundTruth.Add(links.Link{E1: e1, E2: e2})
+	}
+
+	// Trap pairs: identical key values, different individuals.
+	for t := 0; t < g.p.Traps; t++ {
+		per := g.randomPerson()
+		g.addEntity1(per)
+		g.addEntity2(per, 0)
+		// No ground-truth entry: these are false friends.
+	}
+
+	// Ambiguous dataset-2 entities: weak variants of matched names.
+	nAmb := int(g.p.AmbiguousFrac * float64(g.p.Matched))
+	for a := 0; a < nAmb && a < len(matchedPeople); a++ {
+		src := matchedPeople[g.rng.Intn(len(matchedPeople))]
+		amb := g.randomPerson()
+		amb.name = g.perturbName(src.name, 2+g.rng.Intn(3))
+		g.addEntity2(amb, 0)
+	}
+
+	// Fillers up to the profile sizes.
+	for g.n1 < g.p.N1 {
+		g.addEntity1(g.randomPerson())
+	}
+	for g.n2 < g.p.N2 {
+		g.addEntity2(g.randomPerson(), 0)
+	}
+
+	// relatedTo chains give the PARIS propagation stage something to
+	// work with; chains link consecutive entities within each dataset.
+	for i := 1; i < g.p.Matched; i++ {
+		if g.rng.Float64() < 0.3 {
+			g.ds.G1.Insert(rdf.Triple{S: E1IRI(i - 1), P: P1Rel, O: E1IRI(i)})
+			g.ds.G2.Insert(rdf.Triple{S: E2IRI(i - 1), P: P2Rel, O: E2IRI(i)})
+		}
+	}
+
+	g.ds.Entities1 = subjectsOnly(g.ds.G1, ns1+"resource/")
+	g.ds.Entities2 = subjectsOnly(g.ds.G2, ns2+"resource/")
+}
+
+func subjectsOnly(gr *rdf.Graph, prefix string) []rdf.ID {
+	var out []rdf.ID
+	for _, s := range gr.SubjectIDs() {
+		t := gr.Dict().Term(s)
+		if t.IsIRI() && len(t.Value) > len(prefix) && t.Value[:len(prefix)] == prefix {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (g *generator) addEntity1(per person) rdf.ID {
+	s := E1IRI(g.n1)
+	g.n1++
+	gr := g.ds.G1
+	gr.Insert(rdf.Triple{S: s, P: P1Label, O: rdf.Literal(per.name)})
+	gr.Insert(rdf.Triple{S: s, P: P1Birth, O: rdf.TypedLiteral(per.born.Format("2006-01-02"), rdf.XSDDate)})
+	gr.Insert(rdf.Triple{S: s, P: P1Cat, O: rdf.Literal(per.cat)})
+	gr.Insert(rdf.Triple{S: s, P: P1Place, O: rdf.Literal(per.place)})
+	if g.rng.Float64() < g.p.SharedTypeFrac {
+		gr.Insert(rdf.Triple{S: s, P: P1Type, O: rdf.Literal("Thing")})
+	} else {
+		gr.Insert(rdf.Triple{S: s, P: P1Type, O: rdf.Literal("Ds1" + per.cat + "Entity")})
+	}
+	id, _ := gr.Dict().Lookup(s)
+	return id
+}
+
+// addEntity2 writes a dataset-2 entity. noise 0 copies the person's key
+// values verbatim; larger values apply that many name perturbations and
+// shift the date by up to 60 days (never 0), putting the pair on the
+// similarity continuum instead of at exactly 1.0.
+func (g *generator) addEntity2(per person, noise int) rdf.ID {
+	s := E2IRI(g.n2)
+	g.n2++
+	gr := g.ds.G2
+	name := per.name
+	born := per.born
+	if noise > 0 {
+		name = g.perturbName(name, noise)
+		born = born.AddDate(0, 0, 1+g.rng.Intn(60))
+	}
+	gr.Insert(rdf.Triple{S: s, P: P2Name, O: rdf.Literal(name)})
+	gr.Insert(rdf.Triple{S: s, P: P2Born, O: rdf.TypedLiteral(born.Format("2006-01-02"), rdf.XSDDate)})
+	gr.Insert(rdf.Triple{S: s, P: P2Place, O: rdf.Literal(per.place)})
+	gr.Insert(rdf.Triple{S: s, P: P2Group, O: rdf.Literal(per.cat)})
+	if g.rng.Float64() < g.p.SharedTypeFrac {
+		gr.Insert(rdf.Triple{S: s, P: P2Kind, O: rdf.Literal("Thing")})
+	} else {
+		gr.Insert(rdf.Triple{S: s, P: P2Kind, O: rdf.Literal("ds2:" + per.cat)})
+	}
+	id, _ := gr.Dict().Lookup(s)
+	return id
+}
+
+func (g *generator) variantNoiseMax() int {
+	if g.p.VariantNoiseMax > 0 {
+		return g.p.VariantNoiseMax
+	}
+	return 3
+}
+
+func (g *generator) randomPerson() person {
+	return person{
+		name:  g.randomName(),
+		born:  randomDate(g.rng),
+		cat:   g.cats[g.rng.Intn(len(g.cats))],
+		place: g.places[g.rng.Intn(len(g.places))],
+	}
+}
+
+var (
+	onsets = []string{"b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "t", "tr", "v", "w", "z"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas  = []string{"", "n", "r", "s", "l", "m", "nd", "rt", "ck", "x"}
+)
+
+func syllable(rng *rand.Rand) string {
+	return onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))] + codas[rng.Intn(len(codas))]
+}
+
+func capitalized(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+func (g *generator) randomName() string {
+	first := capitalized(syllable(g.rng) + syllable(g.rng))
+	last := capitalized(syllable(g.rng) + syllable(g.rng) + syllable(g.rng))
+	return first + " " + last
+}
+
+// randomDate picks a week-aligned date over a 100-year span. The
+// quantization makes shared birth dates mildly common, so the date
+// relation's inverse functionality is below 1 and the PARIS baseline
+// cannot link on a date collision alone (realistic for people data).
+func randomDate(rng *rand.Rand) time.Time {
+	base := time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.AddDate(0, 0, 7*rng.Intn(5200))
+}
+
+func categories(rng *rand.Rand) []string {
+	cats := make([]string, 150)
+	for i := range cats {
+		cats[i] = capitalized(syllable(rng) + syllable(rng))
+	}
+	return cats
+}
+
+func places(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = capitalized(syllable(rng)+syllable(rng)) + " " + []string{"City", "Falls", "Springs", "Harbor", "Heights"}[rng.Intn(5)]
+	}
+	return out
+}
+
+// perturbName applies n random edits: token reorder, typos, initialing,
+// or a suffix. The resulting similarity to the original decreases with
+// n, populating a continuum that range exploration can traverse.
+func (g *generator) perturbName(name string, n int) string {
+	out := name
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(5) {
+		case 0: // "Last, First"
+			out = reorderName(out)
+		case 1, 2: // typo: swap adjacent characters
+			out = swapChars(out, g.rng)
+		case 3: // drop a character
+			out = dropChar(out, g.rng)
+		case 4: // append a suffix token
+			out = out + " " + []string{"Jr", "Sr", "II", "III"}[g.rng.Intn(4)]
+		}
+	}
+	if out == name {
+		out = swapChars(out, g.rng)
+	}
+	return out
+}
+
+func reorderName(name string) string {
+	sp := -1
+	for i := 0; i < len(name); i++ {
+		if name[i] == ' ' {
+			sp = i
+			break
+		}
+	}
+	if sp < 0 {
+		return name
+	}
+	return name[sp+1:] + ", " + name[:sp]
+}
+
+func swapChars(s string, rng *rand.Rand) string {
+	if len(s) < 3 {
+		return s
+	}
+	b := []byte(s)
+	for attempt := 0; attempt < 10; attempt++ {
+		i := 1 + rng.Intn(len(b)-2)
+		if b[i] != ' ' && b[i+1] != ' ' && b[i] != b[i+1] {
+			b[i], b[i+1] = b[i+1], b[i]
+			return string(b)
+		}
+	}
+	return s
+}
+
+func dropChar(s string, rng *rand.Rand) string {
+	if len(s) < 4 {
+		return s
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		i := 1 + rng.Intn(len(s)-2)
+		if s[i] != ' ' {
+			return s[:i] + s[i+1:]
+		}
+	}
+	return s
+}
