@@ -1,0 +1,32 @@
+# Developer entry points. `make verify` is the full pre-commit gate:
+# tier-1 (build + test) plus vet and the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet verify fmt bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+verify: build vet test race
+	@echo "verify: OK"
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

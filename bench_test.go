@@ -6,10 +6,16 @@
 package alex_test
 
 import (
+	"net/http/httptest"
 	"testing"
 
 	"alex/internal/core"
 	"alex/internal/experiments"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/server"
+	"alex/internal/synth"
 )
 
 // benchOpts returns the reduced-scale options used by all quality
@@ -213,6 +219,72 @@ func BenchmarkAblationPolicy(b *testing.B) {
 		b.ReportMetric(meanNeg(c.Runs[0]), "learnedNeg%")
 		b.ReportMetric(meanNeg(c.Runs[1]), "uniformNeg%")
 	}
+}
+
+// BenchmarkServerQueries measures the alexd serving path — HTTP round
+// trip, JSON codec, snapshot load, federated evaluation — as queries/sec
+// against an in-process httptest server (beyond the paper: the serving
+// layer has no figure, only a latency budget).
+func BenchmarkServerQueries(b *testing.B) {
+	prof, ok := synth.ProfileByName("dbpedia-drugbank")
+	if !ok {
+		b.Fatal("profile missing")
+	}
+	prof = prof.Scale(0.25)
+	ds := synth.Generate(prof)
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	for i, s := range scored {
+		initial[i] = s.Link
+	}
+	cfg := core.DefaultConfig()
+	cfg.Partitions = prof.Partitions
+	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	srv, err := server.New(sys, ds.Dict, []federation.Source{
+		{Name: "ds1", Graph: ds.G1},
+		{Name: "ds2", Graph: ds.G2},
+	}, server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := server.NewClient(ts.URL)
+	ls, err := client.Links()
+	if err != nil || len(ls.Links) == 0 {
+		b.Fatalf("links: %v (%d)", err, len(ls.Links))
+	}
+	entities := make([]string, 0, len(ls.Links))
+	seen := map[string]bool{}
+	for _, l := range ls.Links {
+		if !seen[l.E1] {
+			seen[l.E1] = true
+			entities = append(entities, l.E1)
+		}
+	}
+	query := func(i int) string {
+		return "SELECT ?n WHERE { <" + entities[i%len(entities)] + "> <http://ds2.example.org/prop/name> ?n . }"
+	}
+	// One warm round trip so connection setup is off the clock.
+	if _, err := client.Query(query(0)); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := client.Query(query(i)); err != nil {
+				b.Errorf("query: %v", err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 func meanNeg(r *experiments.QualityRun) float64 {

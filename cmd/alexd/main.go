@@ -1,0 +1,198 @@
+// Command alexd serves ALEX over HTTP: federated SPARQL queries with
+// sameAs provenance, answer-level feedback that drives the exploration
+// loop, the published candidate link set, health and Prometheus
+// metrics. It is the long-lived serving layer for the interaction model
+// of the paper's §3.2 — many users querying and giving feedback
+// concurrently while one writer runs episodes.
+//
+// Serve a synthetic dataset pair (self-contained demo):
+//
+//	alexd -profile dbpedia-drugbank -addr :8080
+//
+// Serve real N-Triples datasets with initial links:
+//
+//	alexd -ds1 a.nt -ds2 b.nt -links links.nt -addr :8080
+//
+// Endpoints: POST /query, POST /feedback, GET /links, GET /healthz,
+// GET /metrics. See the README "Serving" section for curl examples.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"alex/internal/core"
+	"alex/internal/eval"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/rdf"
+	"alex/internal/server"
+	"alex/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	profile := flag.String("profile", "", "serve a synthetic dataset pair (see synthgen -list)")
+	scale := flag.Float64("scale", 1.0, "entity-count scale factor for -profile")
+	ds1Path := flag.String("ds1", "", "N-Triples file of dataset 1")
+	ds2Path := flag.String("ds2", "", "N-Triples file of dataset 2")
+	linksPath := flag.String("links", "", "N-Triples file of initial owl:sameAs links (default: run the PARIS linker)")
+	partitions := flag.Int("partitions", 0, "ALEX partitions (0 = profile default or 1)")
+	episodeSize := flag.Int("episode-size", 100, "link-level feedback items per serving episode")
+	queueSize := flag.Int("queue", 1024, "feedback queue capacity (full queue -> 429)")
+	flush := flag.Duration("flush", 250*time.Millisecond, "finish a partial episode after this much idle time")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request query deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for draining feedback")
+	flag.Parse()
+
+	if (*profile == "") == (*ds1Path == "" || *ds2Path == "") {
+		fmt.Fprintln(os.Stderr, "alexd: exactly one of -profile or (-ds1 and -ds2) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		dict       *rdf.Dict
+		g1, g2     *rdf.Graph
+		e1, e2     []rdf.ID
+		initial    []links.Link
+		gt         links.Set // synthetic mode only, for startup logging
+		sourceName = [2]string{"ds1", "ds2"}
+	)
+	switch {
+	case *profile != "":
+		prof, ok := synth.ProfileByName(*profile)
+		if !ok {
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		prof = prof.Scale(*scale)
+		log.Printf("generating %s (scale %.2f): %d + %d entities", prof.Name, *scale, prof.N1, prof.N2)
+		ds := synth.Generate(prof)
+		dict, g1, g2 = ds.Dict, ds.G1, ds.G2
+		e1, e2 = ds.Entities1, ds.Entities2
+		gt = ds.GroundTruth
+		sourceName[0], sourceName[1] = prof.Name+"-1", prof.Name+"-2"
+		if *partitions == 0 {
+			*partitions = prof.Partitions
+		}
+	default:
+		dict = rdf.NewDict()
+		g1 = loadGraph(*ds1Path, dict)
+		g2 = loadGraph(*ds2Path, dict)
+		e1, e2 = g1.SubjectIDs(), g2.SubjectIDs()
+	}
+
+	if *linksPath != "" {
+		initial = loadLinks(*linksPath, dict).Slice()
+		log.Printf("loaded %d initial links from %s", len(initial), *linksPath)
+	} else {
+		log.Printf("running PARIS linker for initial links...")
+		start := time.Now()
+		scored := paris.Link(g1, g2, e1, e2, paris.NewOptions())
+		initial = make([]links.Link, len(scored))
+		for i, s := range scored {
+			initial[i] = s.Link
+		}
+		log.Printf("PARIS produced %d links in %s", len(initial), time.Since(start).Round(time.Millisecond))
+	}
+	if gt != nil {
+		log.Printf("initial quality vs ground truth: %v", eval.Compute(links.NewSet(initial...), gt))
+	}
+
+	cfg := core.DefaultConfig()
+	if *partitions > 0 {
+		cfg.Partitions = *partitions
+	}
+	log.Printf("building ALEX system (%d partitions)...", cfg.Partitions)
+	sys := core.New(g1, g2, e1, e2, initial, cfg)
+
+	srv, err := server.New(sys, dict, []federation.Source{
+		{Name: sourceName[0], Graph: g1},
+		{Name: sourceName[1], Graph: g2},
+	}, server.Config{
+		EpisodeSize:   *episodeSize,
+		QueueSize:     *queueSize,
+		FlushInterval: *flush,
+		QueryTimeout:  *queryTimeout,
+		DrainTimeout:  *drainTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("alexd serving on %s (%d candidate links)", *addr, srv.Snapshot().Links.Len())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting, finish in-flight requests,
+	// then drain the feedback queue and close the open episode.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("alexd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("alexd: %v", err)
+	}
+	snap := srv.Snapshot()
+	log.Printf("final snapshot v%d: %d links after %d episodes", snap.Version, snap.Links.Len(), snap.Episode)
+	if gt != nil {
+		log.Printf("final quality vs ground truth: %v", eval.Compute(snap.Links, gt))
+	}
+}
+
+func loadGraph(path string, dict *rdf.Dict) *rdf.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := rdf.NewGraphWithDict(dict)
+	if _, err := rdf.ReadNTriples(bufio.NewReader(f), g); err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func loadLinks(path string, dict *rdf.Dict) links.Set {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g := rdf.NewGraphWithDict(dict)
+	if _, err := rdf.ReadNTriples(bufio.NewReader(f), g); err != nil {
+		fatal(err)
+	}
+	out := links.NewSet()
+	for _, t := range g.Triples() {
+		s, ok1 := dict.Lookup(t.S)
+		o, ok2 := dict.Lookup(t.O)
+		if ok1 && ok2 {
+			out.Add(links.Link{E1: s, E2: o})
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "alexd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,239 @@
+// Command alexload is the load generator for alexd: it hammers /query
+// and /feedback from many concurrent workers and reports throughput and
+// latency percentiles for both endpoints, plus the server-side episode
+// progress it provoked.
+//
+// Against a running alexd:
+//
+//	alexload -addr localhost:8080 -concurrency 16 -duration 30s
+//
+// Self-contained (spins up an in-process server over a synthetic
+// profile, then load-tests it — no daemon needed):
+//
+//	alexload -profile dbpedia-drugbank -scale 0.5 -duration 10s
+//
+// Each worker loops: pick a random entity from the published link set,
+// run the -query template against it (default: a cross-source name
+// lookup that must traverse a sameAs link), then with probability
+// -feedback-frac judge one returned row and POST the verdict. In
+// self-contained mode the verdict comes from the synthetic ground
+// truth, so the run doubles as a serving-path quality demo; against a
+// remote server verdicts are random approve/reject.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alex/internal/core"
+	"alex/internal/eval"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/server"
+	"alex/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", "", "alexd address (empty: self-contained in-process server)")
+	profile := flag.String("profile", "dbpedia-drugbank", "synthetic profile for self-contained mode")
+	scale := flag.Float64("scale", 0.5, "profile scale for self-contained mode")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	feedbackFrac := flag.Float64("feedback-frac", 0.5, "fraction of answered queries followed by feedback")
+	queryTmpl := flag.String("query", "SELECT ?n WHERE { <{e1}> <http://ds2.example.org/prop/name> ?n . }",
+		"query template; {e1} is replaced by an entity IRI from /links")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var (
+		client *server.Client
+		gt     map[server.LinkJSON]bool // self-contained mode only
+	)
+	if *addr != "" {
+		client = server.NewClient(*addr)
+	} else {
+		fmt.Printf("self-contained mode: serving %s at scale %.2f in-process\n", *profile, *scale)
+		ts, srv, groundTruth := selfHost(*profile, *scale)
+		defer ts.Close()
+		defer srv.Close()
+		client = server.NewClient(ts.URL)
+		gt = groundTruth
+	}
+
+	start, err := client.Healthz()
+	if err != nil {
+		fatal(fmt.Errorf("server not reachable: %w", err))
+	}
+	ls, err := client.Links()
+	if err != nil {
+		fatal(err)
+	}
+	if len(ls.Links) == 0 {
+		fatal(fmt.Errorf("server has no candidate links to query"))
+	}
+	entities := make([]string, 0, len(ls.Links))
+	seen := map[string]bool{}
+	for _, l := range ls.Links {
+		if !seen[l.E1] {
+			seen[l.E1] = true
+			entities = append(entities, l.E1)
+		}
+	}
+	fmt.Printf("targets: %d entities from snapshot v%d (%d links)\n", len(entities), ls.SnapshotVersion, ls.Count)
+
+	var (
+		queries, queryErrs, rows atomic.Uint64
+		feedbacks, rejected429   atomic.Uint64
+		queryLat, feedbackLat    = newLatencies(*concurrency), newLatencies(*concurrency)
+		stopAt                   = time.Now().Add(*duration)
+		wg                       sync.WaitGroup
+	)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for time.Now().Before(stopAt) {
+				e1 := entities[rng.Intn(len(entities))]
+				q := strings.ReplaceAll(*queryTmpl, "{e1}", e1)
+				t0 := time.Now()
+				res, err := client.Query(q)
+				queryLat.observe(w, time.Since(t0))
+				if err != nil {
+					queryErrs.Add(1)
+					continue
+				}
+				queries.Add(1)
+				rows.Add(uint64(len(res.Rows)))
+				if len(res.Rows) == 0 || rng.Float64() >= *feedbackFrac {
+					continue
+				}
+				row := res.Rows[rng.Intn(len(res.Rows))]
+				if len(row.Links) == 0 {
+					continue
+				}
+				approve := rng.Intn(2) == 0
+				if gt != nil {
+					approve = true
+					for _, lj := range row.Links {
+						if !gt[lj] {
+							approve = false
+						}
+					}
+				}
+				t1 := time.Now()
+				err = client.Feedback(row.Links, approve)
+				feedbackLat.observe(w, time.Since(t1))
+				switch err {
+				case nil:
+					feedbacks.Add(1)
+				case server.ErrQueueFull:
+					rejected429.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	end, err := client.Healthz()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := *duration
+	fmt.Printf("\n--- load report (%s, %d workers) ---\n", elapsed, *concurrency)
+	fmt.Printf("queries:   %d ok, %d errors, %.1f qps, %.1f rows/query\n",
+		queries.Load(), queryErrs.Load(), float64(queries.Load())/elapsed.Seconds(),
+		safeDiv(float64(rows.Load()), float64(queries.Load())))
+	p := queryLat.percentiles()
+	fmt.Printf("  latency: p50=%s p95=%s p99=%s max=%s\n", p[0], p[1], p[2], p[3])
+	fmt.Printf("feedback:  %d accepted, %d backpressured (429), %.1f fps\n",
+		feedbacks.Load(), rejected429.Load(), float64(feedbacks.Load())/elapsed.Seconds())
+	p = feedbackLat.percentiles()
+	fmt.Printf("  latency: p50=%s p95=%s p99=%s max=%s\n", p[0], p[1], p[2], p[3])
+	fmt.Printf("server:    episodes %d -> %d, snapshot v%d -> v%d, %d -> %d links\n",
+		start.Episode, end.Episode, start.SnapshotVersion, end.SnapshotVersion,
+		start.CandidateLinks, end.CandidateLinks)
+}
+
+// selfHost builds a synthetic world, an ALEX system seeded by PARIS,
+// and an in-process HTTP server over it.
+func selfHost(profile string, scale float64) (*httptest.Server, *server.Server, map[server.LinkJSON]bool) {
+	prof, ok := synth.ProfileByName(profile)
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", profile))
+	}
+	prof = prof.Scale(scale)
+	ds := synth.Generate(prof)
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	for i, s := range scored {
+		initial[i] = s.Link
+	}
+	fmt.Printf("initial quality: %v\n", eval.Compute(links.NewSet(initial...), ds.GroundTruth))
+	cfg := core.DefaultConfig()
+	cfg.Partitions = prof.Partitions
+	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	srv, err := server.New(sys, ds.Dict, []federation.Source{
+		{Name: "ds1", Graph: ds.G1},
+		{Name: "ds2", Graph: ds.G2},
+	}, server.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	gt := make(map[server.LinkJSON]bool, ds.GroundTruth.Len())
+	for _, l := range ds.GroundTruth.Slice() {
+		gt[server.LinkJSON{E1: ds.Dict.Term(l.E1).Value, E2: ds.Dict.Term(l.E2).Value}] = true
+	}
+	return httptest.NewServer(srv.Handler()), srv, gt
+}
+
+// latencies collects per-worker samples without contention.
+type latencies struct {
+	perWorker [][]time.Duration
+}
+
+func newLatencies(workers int) *latencies {
+	return &latencies{perWorker: make([][]time.Duration, workers)}
+}
+
+func (l *latencies) observe(w int, d time.Duration) {
+	l.perWorker[w] = append(l.perWorker[w], d)
+}
+
+// percentiles returns p50, p95, p99 and max over all samples.
+func (l *latencies) percentiles() [4]time.Duration {
+	var all []time.Duration
+	for _, s := range l.perWorker {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return [4]time.Duration{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return all[i].Round(time.Microsecond)
+	}
+	return [4]time.Duration{at(0.50), at(0.95), at(0.99), all[len(all)-1].Round(time.Microsecond)}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "alexload: %v\n", err)
+	os.Exit(1)
+}

@@ -15,6 +15,13 @@
 // -approve/-reject take answer row indices; the feedback is applied to
 // an ALEX system seeded with the given links, and the updated link set
 // is written to -links-out if provided.
+//
+// Remote mode — act as a thin client of a running alexd daemon instead
+// of loading datasets locally (the server owns the state and the
+// learning loop):
+//
+//	fedquery -server localhost:8080 -repl
+//	fedquery -server localhost:8080 -query 'SELECT ?x WHERE { ... }' [-approve 0]
 package main
 
 import (
@@ -35,7 +42,23 @@ func main() {
 	reject := flag.Int("reject", -1, "answer row index to reject")
 	linksOut := flag.String("links-out", "", "write the post-feedback link set to this file")
 	repl := flag.Bool("repl", false, "interactive mode: queries and feedback from stdin")
+	serverAddr := flag.String("server", "", "act as a client of a running alexd at this address (no local datasets)")
 	flag.Parse()
+
+	if *serverAddr != "" {
+		if *ds1Path != "" || *ds2Path != "" || *linksPath != "" || *linksOut != "" {
+			fmt.Fprintln(os.Stderr, "fedquery: -server is exclusive with -ds1/-ds2/-links/-links-out (the server owns the state)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *query == "" && !*repl {
+			fmt.Fprintln(os.Stderr, "fedquery: -server requires -query or -repl")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runRemote(*serverAddr, *query, *approve, *reject, *repl)
+		return
+	}
 
 	if *ds1Path == "" || *ds2Path == "" || *linksPath == "" || (*query == "" && !*repl) {
 		fmt.Fprintln(os.Stderr, "fedquery: -ds1, -ds2, -links and either -query or -repl are required")

@@ -1,0 +1,214 @@
+// Remote mode: fedquery as a thin client of a running alexd daemon.
+// Queries and feedback go over HTTP; the server owns the datasets, the
+// link set and the learning loop, so several fedquery clients can share
+// one evolving federation.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"alex/internal/server"
+)
+
+const remoteHelp = `commands (remote mode):
+  <SPARQL>            run a SELECT or ASK query on the server (end lines with \ to continue)
+  approve <i>         approve answer row i of the last result
+  reject <i>          reject answer row i of the last result
+  links               show the server's published link count
+  health              show the server health report
+  help                this message
+  quit                exit`
+
+// runRemote handles both one-shot (-query) and interactive (-repl) use
+// against an alexd instance.
+func runRemote(addr, query string, approve, reject int, repl bool) {
+	c := server.NewClient(addr)
+	h, err := c.Healthz()
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach alexd at %s: %w", addr, err))
+	}
+	if repl {
+		runRemoteREPL(c, h)
+		return
+	}
+
+	res, err := c.Query(query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d answers (snapshot v%d):\n%s", len(res.Rows), res.SnapshotVersion, formatRemote(res))
+	for _, fb := range []struct {
+		idx     int
+		approve bool
+		verb    string
+	}{{approve, true, "approved"}, {reject, false, "rejected"}} {
+		if fb.idx < 0 {
+			continue
+		}
+		if fb.idx >= len(res.Rows) {
+			fatal(fmt.Errorf("%s index %d out of range", fb.verb[:len(fb.verb)-1], fb.idx))
+		}
+		if err := sendRemoteFeedback(c, res.Rows[fb.idx], fb.approve); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s answer %d (%d links)\n", fb.verb, fb.idx, len(res.Rows[fb.idx].Links))
+	}
+}
+
+func runRemoteREPL(c *server.Client, h *server.HealthResponse) {
+	fmt.Printf("fedquery -> alexd (snapshot v%d, %d candidate links). Type 'help'.\n",
+		h.SnapshotVersion, h.CandidateLinks)
+
+	var last *server.QueryResponse
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var pending strings.Builder
+
+	prompt := func() {
+		if pending.Len() > 0 {
+			fmt.Print("... ")
+		} else {
+			fmt.Print("> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			prompt()
+			continue
+		}
+		if pending.Len() > 0 {
+			pending.WriteString(line)
+			line = pending.String()
+			pending.Reset()
+		}
+		if line == "" {
+			prompt()
+			continue
+		}
+		switch {
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			fmt.Println(remoteHelp)
+		case line == "links":
+			ls, err := c.Links()
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				break
+			}
+			fmt.Printf("%d candidate links (snapshot v%d, episode %d)\n", ls.Count, ls.SnapshotVersion, ls.Episode)
+		case line == "health":
+			h, err := c.Healthz()
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				break
+			}
+			fmt.Printf("%s: snapshot v%d (%.1fs old), episode %d, %d links, queue %d/%d\n",
+				h.Status, h.SnapshotVersion, h.SnapshotAgeSecs, h.Episode,
+				h.CandidateLinks, h.QueueDepth, h.QueueCapacity)
+		case strings.HasPrefix(line, "approve ") || strings.HasPrefix(line, "reject "):
+			remoteFeedbackCommand(c, line, last)
+		default:
+			res, err := c.Query(line)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				break
+			}
+			if res.Ask != nil {
+				fmt.Printf("ASK -> %v\n", *res.Ask)
+				break
+			}
+			last = res
+			fmt.Printf("%d answer(s) (snapshot v%d):\n%s", len(res.Rows), res.SnapshotVersion, formatRemote(res))
+		}
+		prompt()
+	}
+}
+
+func remoteFeedbackCommand(c *server.Client, line string, last *server.QueryResponse) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		fmt.Println("usage: approve <row> | reject <row>")
+		return
+	}
+	if last == nil {
+		fmt.Println("no previous query result")
+		return
+	}
+	i, err := strconv.Atoi(fields[1])
+	if err != nil || i < 0 || i >= len(last.Rows) {
+		fmt.Printf("row index out of range (0..%d)\n", len(last.Rows)-1)
+		return
+	}
+	row := last.Rows[i]
+	if len(row.Links) == 0 {
+		fmt.Println("that answer used no sameAs links; nothing to learn from")
+		return
+	}
+	approve := fields[0] == "approve"
+	if err := sendRemoteFeedback(c, row, approve); err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("%s %d link(s); the server will fold it into its next episode\n", pastTense(approve), len(row.Links))
+}
+
+func pastTense(approve bool) string {
+	if approve {
+		return "approved"
+	}
+	return "rejected"
+}
+
+func sendRemoteFeedback(c *server.Client, row server.RowJSON, approve bool) error {
+	err := c.Feedback(row.Links, approve)
+	if err == server.ErrQueueFull {
+		return fmt.Errorf("server is backpressuring (feedback queue full); retry shortly")
+	}
+	return err
+}
+
+func formatRemote(res *server.QueryResponse) string {
+	var b strings.Builder
+	for i, r := range res.Rows {
+		fmt.Fprintf(&b, "[%d]", i)
+		vars := append([]string(nil), res.Vars...)
+		sort.Strings(vars)
+		for _, v := range vars {
+			if t, ok := r.Binding[v]; ok {
+				fmt.Fprintf(&b, " ?%s=%s", v, formatTerm(t))
+			}
+		}
+		if len(r.Links) > 0 {
+			fmt.Fprintf(&b, " (links used: %d)", len(r.Links))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatTerm(t server.TermJSON) string {
+	switch t.Kind {
+	case "iri":
+		return "<" + t.Value + ">"
+	case "blank":
+		return "_:" + t.Value
+	default:
+		s := strconv.Quote(t.Value)
+		if t.Lang != "" {
+			s += "@" + t.Lang
+		} else if t.Datatype != "" {
+			s += "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}

@@ -135,7 +135,7 @@ func applyFeedback(line string, last *alex.AnswerSet, sys *alex.System) {
 	} else {
 		alex.RejectAnswer(row, sys)
 	}
-	fmt.Printf("%sd %d link(s); candidates %d -> %d\n", fields[0], row.Used.Len(), before, sys.CandidateCount())
+	fmt.Printf("%s %d link(s); candidates %d -> %d\n", pastTense(fields[0] == "approve"), row.Used.Len(), before, sys.CandidateCount())
 }
 
 func saveLinks(sys *alex.System, dict *alex.Dict, path string) error {

@@ -93,13 +93,40 @@ func (f *Federator) AddSource(name string, g *rdf.Graph) error {
 func (f *Federator) Sources() []Source { return f.sources }
 
 // SetLinks replaces the sameAs link set. Call it again whenever ALEX's
-// candidate set changes.
+// candidate set changes. The replacement resolution map is built fully
+// before it is installed, so a Query that started before SetLinks
+// returns sees either the old map or the new one, never a half-filled
+// one. SetLinks itself is still a write: callers that share one
+// Federator across goroutines must not call it concurrently with Query —
+// use WithLinks to publish an immutable snapshot instead.
 func (f *Federator) SetLinks(ls links.Set) {
-	f.same = make(map[rdf.ID][]edge, 2*ls.Len())
-	for _, l := range ls.Slice() {
-		f.same[l.E1] = append(f.same[l.E1], edge{other: l.E2, link: l})
-		f.same[l.E2] = append(f.same[l.E2], edge{other: l.E1, link: l})
+	f.same = buildSameAs(ls)
+}
+
+// WithLinks returns a new Federator over the same dictionary and sources
+// with the given sameAs link set installed. The sources and the
+// source-selection index are shared (they are immutable after
+// registration); only the resolution map is fresh. The returned
+// Federator is a snapshot: treat it as immutable after publication —
+// never call SetLinks or AddSource on it — and concurrent Query calls
+// are then safe without locking. This is the read path of the alexd
+// single-writer architecture.
+func (f *Federator) WithLinks(ls links.Set) *Federator {
+	return &Federator{
+		dict:        f.dict,
+		sources:     f.sources,
+		same:        buildSameAs(ls),
+		predSources: f.predSources,
 	}
+}
+
+func buildSameAs(ls links.Set) map[rdf.ID][]edge {
+	same := make(map[rdf.ID][]edge, 2*ls.Len())
+	for _, l := range ls.Slice() {
+		same[l.E1] = append(same[l.E1], edge{other: l.E2, link: l})
+		same[l.E2] = append(same[l.E2], edge{other: l.E1, link: l})
+	}
+	return same
 }
 
 // LinkCount returns the number of distinct sameAs links installed.

@@ -127,6 +127,124 @@ func TestApproveRejectRouteToLinks(t *testing.T) {
 	}
 }
 
+// chainWorld builds a three-source chain: a drug catalogue (A), a label
+// registry (B) and a price list (C), with each source using its own IRI
+// for the same drug. The links form a chain a1 <-> b1 <-> c1, so an
+// answer that combines all three sources traverses two distinct sameAs
+// links.
+func chainWorld(t *testing.T) (f *Federator, chain [2]links.Link) {
+	t.Helper()
+	d := rdf.NewDict()
+	a := rdf.NewGraphWithDict(d)
+	b := rdf.NewGraphWithDict(d)
+	c := rdf.NewGraphWithDict(d)
+
+	a1 := rdf.IRI("http://a/drug/1")
+	b1 := rdf.IRI("http://b/substance/one")
+	c1 := rdf.IRI("http://c/product/0001")
+	a.Insert(rdf.Triple{S: a1, P: rdf.IRI("http://a/name"), O: rdf.Literal("acetylsalicylic acid")})
+	b.Insert(rdf.Triple{S: b1, P: rdf.IRI("http://b/label"), O: rdf.Literal("Aspirin")})
+	c.Insert(rdf.Triple{S: c1, P: rdf.IRI("http://c/price"), O: rdf.Literal("5")})
+	// A decoy in C that must not join.
+	c.Insert(rdf.Triple{S: rdf.IRI("http://c/product/0002"), P: rdf.IRI("http://c/price"), O: rdf.Literal("9")})
+
+	f = New(d)
+	for _, src := range []struct {
+		name string
+		g    *rdf.Graph
+	}{{"a", a}, {"b", b}, {"c", c}} {
+		if err := f.AddSource(src.name, src.g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aID, _ := d.Lookup(a1)
+	bID, _ := d.Lookup(b1)
+	cID, _ := d.Lookup(c1)
+	chain[0] = links.Link{E1: aID, E2: bID}
+	chain[1] = links.Link{E1: bID, E2: cID}
+	f.SetLinks(links.NewSet(chain[0], chain[1]))
+	return f, chain
+}
+
+func TestMultiHopJoinUsesEveryChainLink(t *testing.T) {
+	f, chain := chainWorld(t)
+	res, err := f.Query(`SELECT ?name ?price WHERE {
+		?p <http://b/label> "Aspirin" .
+		?p <http://a/name> ?name .
+		?p <http://c/price> ?price .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if got := row.Binding["price"]; got != rdf.Literal("5") {
+		t.Fatalf("price = %v, decoy joined?", got)
+	}
+	if row.Used.Len() != 2 {
+		t.Fatalf("row used %d links, want both chain links", row.Used.Len())
+	}
+	for i, l := range chain {
+		if !row.Used.Has(l) {
+			t.Fatalf("provenance missing chain link %d (%v)", i, l)
+		}
+	}
+}
+
+func TestMultiHopFeedbackReachesEveryLink(t *testing.T) {
+	f, chain := chainWorld(t)
+	res, err := f.Query(`SELECT ?name ?price WHERE {
+		?p <http://b/label> "Aspirin" .
+		?p <http://a/name> ?name .
+		?p <http://c/price> ?price .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var approved sinkRecorder
+	Approve(res.Rows[0], &approved)
+	if len(approved.got) != 2 {
+		t.Fatalf("approve reached %d links, want 2: %+v", len(approved.got), approved.got)
+	}
+	for i, l := range chain {
+		if v, ok := approved.got[l]; !ok || !v {
+			t.Fatalf("approve skipped chain link %d", i)
+		}
+	}
+	var rejected sinkRecorder
+	Reject(res.Rows[0], &rejected)
+	if len(rejected.got) != 2 {
+		t.Fatalf("reject reached %d links, want 2: %+v", len(rejected.got), rejected.got)
+	}
+	for i, l := range chain {
+		if v, ok := rejected.got[l]; !ok || v {
+			t.Fatalf("reject skipped chain link %d", i)
+		}
+	}
+}
+
+func TestWithLinksSnapshotIndependence(t *testing.T) {
+	f, chain := chainWorld(t)
+	snap := f.WithLinks(links.NewSet(chain[0], chain[1]))
+	// Mutating the original must not affect the snapshot.
+	f.SetLinks(links.NewSet())
+	if snap.LinkCount() != 2 {
+		t.Fatalf("snapshot LinkCount = %d after SetLinks on origin", snap.LinkCount())
+	}
+	res, err := snap.Query(`SELECT ?price WHERE {
+		?p <http://b/label> "Aspirin" .
+		?p <http://c/price> ?price .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("snapshot rows = %d, want 1", len(res.Rows))
+	}
+}
+
 func TestAddSourceRejectsForeignDict(t *testing.T) {
 	f, _, _ := newsWorld(t)
 	other := rdf.NewGraph()

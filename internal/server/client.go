@@ -1,0 +1,125 @@
+// Client is the thin HTTP client of alexd used by cmd/fedquery's
+// --server mode and cmd/alexload. It speaks the JSON wire types defined
+// in handlers.go.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrQueueFull is returned by Client.Feedback when the server responded
+// 429: the feedback was NOT accepted and should be retried later.
+var ErrQueueFull = errors.New("server: feedback queue full (429)")
+
+// Client talks to an alexd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for addr, which may be "host:port" or a
+// full http:// URL.
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) postJSON(path string, req, resp any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer hr.Body.Close()
+	data, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return hr.StatusCode, err
+	}
+	if hr.StatusCode >= 400 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return hr.StatusCode, fmt.Errorf("server: %s", e.Error)
+		}
+		return hr.StatusCode, fmt.Errorf("server: HTTP %d", hr.StatusCode)
+	}
+	if resp != nil {
+		if err := json.Unmarshal(data, resp); err != nil {
+			return hr.StatusCode, err
+		}
+	}
+	return hr.StatusCode, nil
+}
+
+func (c *Client) getJSON(path string, resp any) error {
+	hr, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode >= 400 {
+		return fmt.Errorf("server: HTTP %d", hr.StatusCode)
+	}
+	return json.NewDecoder(hr.Body).Decode(resp)
+}
+
+// Query evaluates a federated SPARQL query on the server.
+func (c *Client) Query(query string) (*QueryResponse, error) {
+	var out QueryResponse
+	if _, err := c.postJSON("/query", QueryRequest{Query: query}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Feedback reports an answer-level verdict on the links of a row.
+// Returns ErrQueueFull if the server is backpressuring.
+func (c *Client) Feedback(rowLinks []LinkJSON, approve bool) error {
+	status, err := c.postJSON("/feedback", FeedbackRequest{Approve: approve, Links: rowLinks}, nil)
+	if status == http.StatusTooManyRequests {
+		return ErrQueueFull
+	}
+	return err
+}
+
+// Links fetches the published candidate link set.
+func (c *Client) Links() (*LinksResponse, error) {
+	var out LinksResponse
+	if err := c.getJSON("/links", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz fetches the health report.
+func (c *Client) Healthz() (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.getJSON("/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText() (string, error) {
+	hr, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer hr.Body.Close()
+	data, err := io.ReadAll(hr.Body)
+	return string(data), err
+}

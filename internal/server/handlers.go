@@ -1,0 +1,320 @@
+// HTTP surface of alexd: JSON wire types, the four endpoints, and the
+// recovery/metrics middleware.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+)
+
+// TermJSON is an RDF term on the wire.
+type TermJSON struct {
+	// Kind is "iri", "literal" or "blank".
+	Kind     string `json:"kind"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"lang,omitempty"`
+}
+
+func termJSON(t rdf.Term) TermJSON {
+	kind := "iri"
+	switch t.Kind {
+	case rdf.KindLiteral:
+		kind = "literal"
+	case rdf.KindBlank:
+		kind = "blank"
+	}
+	return TermJSON{Kind: kind, Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+}
+
+// LinkJSON is a sameAs link as entity IRIs.
+type LinkJSON struct {
+	E1 string `json:"e1"`
+	E2 string `json:"e2"`
+}
+
+// RowJSON is one federated answer row: bindings plus the links it used.
+// Echo Links back in a FeedbackRequest to approve or reject the row.
+type RowJSON struct {
+	Binding map[string]TermJSON `json:"binding"`
+	Links   []LinkJSON          `json:"links,omitempty"`
+}
+
+// QueryRequest asks for a federated SPARQL evaluation.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMillis optionally lowers the server's query timeout for
+	// this request; it can never raise it.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse carries the result set and the snapshot it was computed
+// against.
+type QueryResponse struct {
+	Vars            []string  `json:"vars,omitempty"`
+	Rows            []RowJSON `json:"rows"`
+	Ask             *bool     `json:"ask,omitempty"`
+	SnapshotVersion uint64    `json:"snapshot_version"`
+}
+
+// FeedbackRequest reports an answer-level verdict: the links of the
+// answer row (as returned by /query) with approve=true or false.
+type FeedbackRequest struct {
+	Approve bool       `json:"approve"`
+	Links   []LinkJSON `json:"links"`
+}
+
+// FeedbackResponse acknowledges queued feedback.
+type FeedbackResponse struct {
+	Queued bool `json:"queued"`
+	// Links is the number of link-level feedback items the request
+	// expands to.
+	Links int `json:"links"`
+}
+
+// LinksResponse is the published candidate link set.
+type LinksResponse struct {
+	SnapshotVersion uint64     `json:"snapshot_version"`
+	Episode         int        `json:"episode"`
+	Count           int        `json:"count"`
+	Links           []LinkJSON `json:"links"`
+}
+
+// HealthResponse reports liveness and writer progress.
+type HealthResponse struct {
+	Status          string  `json:"status"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	SnapshotAgeSecs float64 `json:"snapshot_age_seconds"`
+	Episode         int     `json:"episode"`
+	CandidateLinks  int     `json:"candidate_links"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCapacity   int     `json:"queue_capacity"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/feedback", s.handleFeedback)
+	mux.HandleFunc("/links", s.handleLinks)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware turns handler panics into 500s instead of killing
+// the connection (and, pre-Go1.8-style, the process for ServeMux-level
+// panics in tests using the handler directly).
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Inc()
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query"})
+		return
+	}
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMillis > 0 {
+		if t := time.Duration(req.TimeoutMillis) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Lock-free read path: load the current snapshot once and evaluate
+	// entirely against it. Concurrent episodes publish new snapshots but
+	// never touch this one.
+	snap := s.Snapshot()
+	start := time.Now()
+	res, err := evalWithContext(ctx, snap.Fed, req.Query)
+	s.metrics.queryDuration.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.queryTimeouts.Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
+			return
+		}
+		s.metrics.queryErrors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.metrics.queries.Inc()
+	s.metrics.queryRows.Add(uint64(len(res.Rows)))
+
+	out := QueryResponse{Vars: res.Vars, Rows: make([]RowJSON, 0, len(res.Rows)), SnapshotVersion: snap.Version}
+	if isAsk(req.Query, res) {
+		ask := res.Ask
+		out.Ask = &ask
+	}
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, s.rowJSON(row))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// isAsk reports whether the result set came from an ASK form (no
+// variables and no rows is how the federation layer signals it).
+func isAsk(query string, res *federation.ResultSet) bool {
+	if len(res.Vars) > 0 || len(res.Rows) > 0 {
+		return false
+	}
+	q, err := sparql.Parse(query)
+	return err == nil && q.Form == sparql.FormAsk
+}
+
+func (s *Server) rowJSON(row federation.Row) RowJSON {
+	rj := RowJSON{Binding: make(map[string]TermJSON, len(row.Binding))}
+	for v, t := range row.Binding {
+		rj.Binding[v] = termJSON(t)
+	}
+	for _, l := range row.Used.Slice() {
+		rj.Links = append(rj.Links, LinkJSON{E1: s.dict.Term(l.E1).Value, E2: s.dict.Term(l.E2).Value})
+	}
+	return rj
+}
+
+// evalWithContext runs the query in a helper goroutine so the handler
+// can honor the deadline. An abandoned evaluation finishes in the
+// background against its snapshot (which stays valid) and is discarded.
+func evalWithContext(ctx context.Context, fed *federation.Federator, query string) (*federation.ResultSet, error) {
+	type out struct {
+		res *federation.ResultSet
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := fed.Query(query)
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Links) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no links in feedback"})
+		return
+	}
+	item := feedbackItem{positive: req.Approve, links: make([]links.Link, 0, len(req.Links))}
+	for _, lj := range req.Links {
+		l, err := s.resolveLink(lj)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		item.links = append(item.links, l)
+	}
+	if !s.enqueue(item) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "feedback queue full, retry later"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, FeedbackResponse{Queued: true, Links: len(item.links)})
+}
+
+func (s *Server) resolveLink(lj LinkJSON) (links.Link, error) {
+	e1, ok := s.dict.Lookup(rdf.IRI(lj.E1))
+	if !ok {
+		return links.Link{}, fmt.Errorf("unknown entity %q", lj.E1)
+	}
+	e2, ok := s.dict.Lookup(rdf.IRI(lj.E2))
+	if !ok {
+		return links.Link{}, fmt.Errorf("unknown entity %q", lj.E2)
+	}
+	return links.Link{E1: e1, E2: e2}, nil
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	snap := s.Snapshot()
+	if r.URL.Query().Get("format") == "ntriples" {
+		w.Header().Set("Content-Type", "application/n-triples")
+		sameAs := rdf.IRI(rdf.OWLSameAs)
+		for _, l := range snap.Links.Slice() {
+			fmt.Fprintf(w, "%s\n", rdf.Triple{S: s.dict.Term(l.E1), P: sameAs, O: s.dict.Term(l.E2)})
+		}
+		return
+	}
+	out := LinksResponse{
+		SnapshotVersion: snap.Version,
+		Episode:         snap.Episode,
+		Count:           snap.Links.Len(),
+		Links:           make([]LinkJSON, 0, snap.Links.Len()),
+	}
+	for _, l := range snap.Links.Slice() {
+		out.Links = append(out.Links, LinkJSON{E1: s.dict.Term(l.E1).Value, E2: s.dict.Term(l.E2).Value})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:          "ok",
+		SnapshotVersion: snap.Version,
+		SnapshotAgeSecs: time.Since(snap.Published).Seconds(),
+		Episode:         snap.Episode,
+		CandidateLinks:  snap.Links.Len(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   cap(s.queue),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,207 @@
+// Metrics: a dependency-free registry of counters, gauges and
+// histograms exported in the Prometheus text exposition format. The
+// instruments are lock-free on the hot path (atomic loads/adds); the
+// registry lock is only taken at registration and scrape time.
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram of observations (seconds, by
+// convention). Buckets are cumulative in the exported format, as
+// Prometheus expects.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets covers request latencies from 100µs to 10s.
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]) from the bucket counts: the upper bound of the bucket the
+// quantile falls in, or the largest finite bound for the overflow
+// bucket. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("server: metric %q registered twice", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (nil for DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders every metric in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.gauge.Value()))
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.gaugeFn()))
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
+			var cum uint64
+			for i, bound := range m.hist.bounds {
+				cum += m.hist.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.hist.Count())
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.hist.Sum()))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, m.hist.Count())
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

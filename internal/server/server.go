@@ -1,0 +1,323 @@
+// Package server is alexd's serving layer: a concurrent HTTP/JSON API
+// over a running ALEX instance, exposing federated SPARQL queries and
+// the answer-level feedback channel that drives the paper's exploration
+// loop (§3.2).
+//
+// The architecture is single-writer / many-reader with snapshot
+// isolation. Exactly one writer goroutine owns the *core.System: all
+// feedback flows through a bounded queue into it, the writer brackets
+// the feedback into episodes (BeginEpisode … FinishEpisode) and, after
+// every episode, publishes an immutable Snapshot — the candidate link
+// set plus a Federator frozen over it — through an atomic.Pointer.
+// Query handlers load the current snapshot and evaluate against it
+// without taking any lock, so readers never block on feedback
+// processing and never observe a half-updated link set. A snapshot is
+// never mutated after publication (federation.Federator.WithLinks
+// enforces the frozen read path).
+//
+// Robustness is part of the design: per-request timeouts via context,
+// backpressure (HTTP 429 + Retry-After when the feedback queue is
+// full — feedback is acknowledged only after it is durably queued),
+// panic-recovery middleware, graceful shutdown that drains queued
+// feedback and finishes the open episode, and a built-in metrics
+// registry exported at /metrics in Prometheus text format.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alex/internal/core"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// Engine is the feedback-consuming side of the writer goroutine.
+// *core.System satisfies it; tests substitute slow or instrumented
+// implementations.
+type Engine interface {
+	BeginEpisode()
+	Feedback(l links.Link, positive bool)
+	FinishEpisode() core.EpisodeStats
+	Candidates() links.Set
+	CandidateCount() int
+	Episode() int
+}
+
+// Config holds the serving-layer tunables.
+type Config struct {
+	// EpisodeSize is the number of link-level feedback items the writer
+	// batches into one episode before improving the policy and
+	// publishing a fresh snapshot.
+	EpisodeSize int
+	// QueueSize bounds the feedback queue (answer-level items). A full
+	// queue yields 429 to clients, never a silent drop.
+	QueueSize int
+	// FlushInterval finishes a partially filled episode after this much
+	// writer idle time, so low-traffic feedback still reaches the
+	// published snapshot promptly.
+	FlushInterval time.Duration
+	// QueryTimeout caps per-request query evaluation time. Requests may
+	// ask for less via timeout_ms, never more.
+	QueryTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for the writer to drain
+	// queued feedback and finish the open episode.
+	DrainTimeout time.Duration
+}
+
+// DefaultConfig returns serving defaults suitable for interactive use.
+func DefaultConfig() Config {
+	return Config{
+		EpisodeSize:   100,
+		QueueSize:     1024,
+		FlushInterval: 250 * time.Millisecond,
+		QueryTimeout:  10 * time.Second,
+		DrainTimeout:  10 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.EpisodeSize < 1 {
+		c.EpisodeSize = d.EpisodeSize
+	}
+	if c.QueueSize < 1 {
+		c.QueueSize = d.QueueSize
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = d.FlushInterval
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = d.QueryTimeout
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = d.DrainTimeout
+	}
+	return c
+}
+
+// Snapshot is one published, immutable view of the link set: queries
+// evaluate against Fed, /links serves Links. Both are frozen at
+// publication time.
+type Snapshot struct {
+	Fed       *federation.Federator
+	Links     links.Set
+	Version   uint64
+	Episode   int
+	Published time.Time
+}
+
+// feedbackItem is one queued answer-level feedback: the links an answer
+// row used, with one verdict for all of them.
+type feedbackItem struct {
+	links    []links.Link
+	positive bool
+}
+
+// Server serves federated queries and routes feedback into ALEX.
+type Server struct {
+	cfg  Config
+	eng  Engine
+	dict *rdf.Dict
+	base *federation.Federator
+
+	snap    atomic.Pointer[Snapshot]
+	queue   chan feedbackItem
+	stop    chan struct{}
+	done    chan struct{}
+	closing sync.Once
+
+	mux     http.Handler
+	reg     *Registry
+	metrics serverMetrics
+}
+
+type serverMetrics struct {
+	queries           *Counter
+	queryErrors       *Counter
+	queryTimeouts     *Counter
+	queryRows         *Counter
+	queryDuration     *Histogram
+	feedbackQueued    *Counter
+	feedbackThrottled *Counter
+	feedbackLinks     *Counter
+	episodes          *Counter
+	episodeDuration   *Histogram
+	panics            *Counter
+}
+
+// New builds a Server over an engine and the federation sources the
+// queries run against. All graphs must share dict. The writer goroutine
+// starts immediately; the initial snapshot (version 1) is published
+// before New returns, so queries are answerable at once.
+func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*Server, error) {
+	base := federation.New(dict)
+	for _, src := range sources {
+		if err := base.AddSource(src.Name, src.Graph); err != nil {
+			return nil, err
+		}
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		dict:  dict,
+		base:  base,
+		queue: make(chan feedbackItem, cfg.QueueSize),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		reg:   NewRegistry(),
+	}
+	s.registerMetrics()
+	s.publish(1)
+	s.mux = s.routes()
+	go s.writer()
+	return s, nil
+}
+
+func (s *Server) registerMetrics() {
+	m := &s.metrics
+	m.queries = s.reg.Counter("alexd_queries_total", "Federated queries served.")
+	m.queryErrors = s.reg.Counter("alexd_query_errors_total", "Queries rejected or failed (parse/eval errors).")
+	m.queryTimeouts = s.reg.Counter("alexd_query_timeouts_total", "Queries abandoned on deadline.")
+	m.queryRows = s.reg.Counter("alexd_query_rows_total", "Answer rows returned across all queries.")
+	m.queryDuration = s.reg.Histogram("alexd_query_duration_seconds", "Query evaluation latency.", nil)
+	m.feedbackQueued = s.reg.Counter("alexd_feedback_total", "Answer-level feedback items accepted into the queue.")
+	m.feedbackThrottled = s.reg.Counter("alexd_feedback_throttled_total", "Feedback items refused with 429 (queue full).")
+	m.feedbackLinks = s.reg.Counter("alexd_feedback_links_total", "Link-level feedback items applied by the writer.")
+	m.episodes = s.reg.Counter("alexd_episodes_total", "Feedback episodes completed.")
+	m.episodeDuration = s.reg.Histogram("alexd_episode_duration_seconds", "Episode duration from first feedback to policy improvement.", nil)
+	m.panics = s.reg.Counter("alexd_http_panics_total", "Handler panics recovered.")
+	s.reg.GaugeFunc("alexd_feedback_queue_depth", "Answer-level feedback items waiting for the writer.", func() float64 {
+		return float64(len(s.queue))
+	})
+	s.reg.GaugeFunc("alexd_snapshot_version", "Version of the published snapshot.", func() float64 {
+		return float64(s.Snapshot().Version)
+	})
+	s.reg.GaugeFunc("alexd_snapshot_age_seconds", "Seconds since the current snapshot was published.", func() float64 {
+		return time.Since(s.Snapshot().Published).Seconds()
+	})
+	s.reg.GaugeFunc("alexd_candidate_links", "Candidate links in the published snapshot.", func() float64 {
+		return float64(s.Snapshot().Links.Len())
+	})
+}
+
+// Snapshot returns the currently published snapshot. The result is
+// immutable; it remains valid (and consistent) for as long as the
+// caller holds it, even across later publications.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Handler returns the root HTTP handler (all routes, middleware
+// applied).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry, so embedders can add their own
+// instruments next to the server's.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// publish builds a fresh immutable snapshot from the engine's current
+// candidate set. Writer-goroutine only (plus once from New, before the
+// writer starts).
+func (s *Server) publish(version uint64) {
+	cands := s.eng.Candidates()
+	s.snap.Store(&Snapshot{
+		Fed:       s.base.WithLinks(cands),
+		Links:     cands,
+		Version:   version,
+		Episode:   s.eng.Episode(),
+		Published: time.Now(),
+	})
+}
+
+// writer is the single goroutine that owns the engine: it applies
+// queued feedback, brackets it into episodes, and publishes snapshots.
+func (s *Server) writer() {
+	defer close(s.done)
+	var (
+		pending int       // link-level items in the open episode
+		epStart time.Time // when the open episode began
+		version = s.Snapshot().Version
+	)
+	flush := time.NewTicker(s.cfg.FlushInterval)
+	defer flush.Stop()
+
+	finish := func() {
+		if pending == 0 {
+			return
+		}
+		s.eng.FinishEpisode()
+		s.metrics.episodes.Inc()
+		s.metrics.episodeDuration.Observe(time.Since(epStart).Seconds())
+		pending = 0
+		version++
+		s.publish(version)
+	}
+	apply := func(it feedbackItem) {
+		if pending == 0 {
+			s.eng.BeginEpisode()
+			epStart = time.Now()
+		}
+		for _, l := range it.links {
+			s.eng.Feedback(l, it.positive)
+			s.metrics.feedbackLinks.Inc()
+			pending++
+		}
+		if pending >= s.cfg.EpisodeSize {
+			finish()
+		}
+	}
+
+	for {
+		select {
+		case it := <-s.queue:
+			apply(it)
+		case <-flush.C:
+			finish()
+		case <-s.stop:
+			// Drain everything already acknowledged to clients, then
+			// finish the open episode so no accepted feedback is lost.
+			for {
+				select {
+				case it := <-s.queue:
+					apply(it)
+				default:
+					finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueue offers an answer-level feedback item to the writer without
+// blocking. ok=false means the queue is full and the item was NOT
+// accepted (the HTTP layer turns that into 429 + Retry-After).
+func (s *Server) enqueue(it feedbackItem) bool {
+	select {
+	case s.queue <- it:
+		s.metrics.feedbackQueued.Inc()
+		return true
+	default:
+		s.metrics.feedbackThrottled.Inc()
+		return false
+	}
+}
+
+// Close shuts the writer down gracefully: queued feedback is drained,
+// the open episode finished, and a final snapshot published. It returns
+// an error if the writer does not drain within DrainTimeout. Close is
+// idempotent; after it returns, feedback is no longer processed (the
+// HTTP handlers keep serving reads from the last snapshot).
+func (s *Server) Close() error {
+	s.closing.Do(func() { close(s.stop) })
+	select {
+	case <-s.done:
+		return nil
+	case <-time.After(s.cfg.DrainTimeout):
+		return fmt.Errorf("server: writer did not drain within %s", s.cfg.DrainTimeout)
+	}
+}
