@@ -52,6 +52,13 @@ func main() {
 	flush := flag.Duration("flush", 250*time.Millisecond, "finish a partial episode after this much idle time")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request query deadline")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for draining feedback")
+	dataDir := flag.String("data", "", "durability directory (feedback journal + checkpoints); empty disables durability")
+	checkpointEvery := flag.Int("checkpoint-every", 16, "episodes between state checkpoints (with -data)")
+	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt deadline for a federated source access")
+	sourceRetries := flag.Int("source-retries", 2, "retries after a failed source access (jittered exponential backoff)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive source failures that open its circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
 	flag.Parse()
 
 	if (*profile == "") == (*ds1Path == "" || *ds2Path == "") {
@@ -119,14 +126,30 @@ func main() {
 		{Name: sourceName[0], Graph: g1},
 		{Name: sourceName[1], Graph: g2},
 	}, server.Config{
-		EpisodeSize:   *episodeSize,
-		QueueSize:     *queueSize,
-		FlushInterval: *flush,
-		QueryTimeout:  *queryTimeout,
-		DrainTimeout:  *drainTimeout,
+		EpisodeSize:     *episodeSize,
+		QueueSize:       *queueSize,
+		FlushInterval:   *flush,
+		QueryTimeout:    *queryTimeout,
+		DrainTimeout:    *drainTimeout,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
+		Resilience: federation.Resilience{
+			SourceTimeout: *sourceTimeout,
+			Retries:       *sourceRetries,
+			Breaker: federation.BreakerConfig{
+				Failures:  *breakerFailures,
+				Cooldown:  *breakerCooldown,
+				Successes: *breakerSuccesses,
+			},
+		},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		log.Printf("durability on in %s: recovered checkpoint seq %d, replayed %d journal records",
+			*dataDir, rec.CheckpointSeq, rec.Replayed)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

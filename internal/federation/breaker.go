@@ -1,0 +1,136 @@
+package federation
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit state of one federated source.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the source is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the source failed repeatedly; requests are skipped
+	// (the query degrades) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; probe requests are allowed
+	// through to test whether the source recovered.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a per-source circuit breaker.
+type BreakerConfig struct {
+	// Failures is the number of consecutive failures that opens the
+	// circuit.
+	Failures int
+	// Cooldown is how long an open circuit rejects before allowing
+	// half-open probes.
+	Cooldown time.Duration
+	// Successes is the number of consecutive half-open successes that
+	// close the circuit again.
+	Successes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures < 1 {
+		c.Failures = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Successes < 1 {
+		c.Successes = 2
+	}
+	return c
+}
+
+// Breaker is a closed → open → half-open → closed circuit breaker. It
+// is safe for concurrent use; the clock is injectable for tests.
+type Breaker struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	now   func() time.Time
+	state BreakerState
+	fails int       // consecutive failures while closed
+	succ  int       // consecutive successes while half-open
+	until time.Time // when an open circuit starts probing
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request may proceed, transitioning open →
+// half-open when the cooldown has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.succ = 0
+		return true
+	}
+}
+
+// Record feeds the outcome of an allowed request into the state
+// machine.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if !ok {
+			b.trip()
+			return
+		}
+		b.succ++
+		if b.succ >= b.cfg.Successes {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+	default: // open: late results from in-flight probes; ignore
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.until = b.now().Add(b.cfg.Cooldown)
+	b.fails = 0
+	b.succ = 0
+}
+
+// State returns the current circuit state (open circuits past their
+// cooldown still report open until a request probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

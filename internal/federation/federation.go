@@ -9,6 +9,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,10 +18,14 @@ import (
 	"alex/internal/sparql"
 )
 
-// Source is a named dataset participating in the federation.
+// Source is a named dataset participating in the federation. Access, if
+// non-nil, is consulted before the source's data is used by a query
+// (see AccessFunc): it makes the source fallible, which activates the
+// per-source deadline, retry and circuit-breaker machinery.
 type Source struct {
-	Name  string
-	Graph *rdf.Graph
+	Name   string
+	Graph  *rdf.Graph
+	Access AccessFunc
 }
 
 // Row is one federated answer: variable bindings plus the sameAs links
@@ -31,11 +36,15 @@ type Row struct {
 }
 
 // ResultSet holds federated query solutions. For ASK queries Rows is
-// empty and Ask carries the answer.
+// empty and Ask carries the answer. Degraded lists the sources that
+// were skipped during evaluation (open circuit, access failure or
+// timeout): when non-empty the results are partial, not wrong — rows
+// that the degraded sources would have contributed are simply missing.
 type ResultSet struct {
-	Vars []string
-	Rows []Row
-	Ask  bool
+	Vars     []string
+	Rows     []Row
+	Ask      bool
+	Degraded []string
 }
 
 // FeedbackSink receives link-level feedback derived from answer-level
@@ -56,6 +65,12 @@ type Federator struct {
 	// least one triple with it. Patterns with a bound predicate are
 	// only evaluated against relevant sources.
 	predSources map[rdf.ID][]int
+	// res and guards implement the fault-tolerant read path (see
+	// resilience.go). guards[i] is nil for sources without an Access
+	// hook; non-nil guards are shared with WithLinks snapshots so
+	// breaker state survives snapshot publication.
+	res    Resilience
+	guards []*guard
 }
 
 type edge struct {
@@ -69,21 +84,45 @@ func New(dict *rdf.Dict) *Federator {
 		dict:        dict,
 		same:        make(map[rdf.ID][]edge),
 		predSources: make(map[rdf.ID][]int),
+		res:         DefaultResilience(),
 	}
 }
 
-// AddSource registers a dataset. All sources must share the federator's
+// SetResilience replaces the fault-tolerance policy. Breakers of
+// already registered sources are rebuilt with the new configuration
+// (and therefore reset to closed). Not safe concurrently with queries.
+func (f *Federator) SetResilience(r Resilience) {
+	f.res = r.withDefaults()
+	for i, src := range f.sources {
+		if src.Access != nil {
+			f.guards[i] = newGuard(f.res.Breaker, int64(i)+1)
+		}
+	}
+}
+
+// AddSource registers a local in-memory dataset; see Add.
+func (f *Federator) AddSource(name string, g *rdf.Graph) error {
+	return f.Add(Source{Name: name, Graph: g})
+}
+
+// Add registers a source. All sources must share the federator's
 // dictionary so that term IDs are comparable. The source's predicates
 // are indexed for source selection; triples inserted into the graph
 // after registration with previously unseen predicates are not visible
-// to the index (re-register to refresh).
-func (f *Federator) AddSource(name string, g *rdf.Graph) error {
-	if g.Dict() != f.dict {
-		return fmt.Errorf("federation: source %q does not share the federator dictionary", name)
+// to the index (re-register to refresh). A source with an Access hook
+// gets a circuit breaker under the current resilience policy.
+func (f *Federator) Add(src Source) error {
+	if src.Graph.Dict() != f.dict {
+		return fmt.Errorf("federation: source %q does not share the federator dictionary", src.Name)
 	}
 	idx := len(f.sources)
-	f.sources = append(f.sources, Source{Name: name, Graph: g})
-	for _, p := range g.PredicateIDs() {
+	f.sources = append(f.sources, src)
+	var g *guard
+	if src.Access != nil {
+		g = newGuard(f.res.Breaker, int64(idx)+1)
+	}
+	f.guards = append(f.guards, g)
+	for _, p := range src.Graph.PredicateIDs() {
 		f.predSources[p] = append(f.predSources[p], idx)
 	}
 	return nil
@@ -117,6 +156,8 @@ func (f *Federator) WithLinks(ls links.Set) *Federator {
 		sources:     f.sources,
 		same:        buildSameAs(ls),
 		predSources: f.predSources,
+		res:         f.res,
+		guards:      f.guards,
 	}
 }
 
@@ -144,19 +185,34 @@ func (f *Federator) LinkCount() int {
 
 // Query parses and evaluates a federated SELECT query.
 func (f *Federator) Query(query string) (*ResultSet, error) {
+	return f.QueryContext(context.Background(), query)
+}
+
+// QueryContext parses and evaluates a federated query; ctx bounds the
+// per-source access probes (and their retries).
+func (f *Federator) QueryContext(ctx context.Context, query string) (*ResultSet, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return f.Eval(q)
+	return f.EvalContext(ctx, q)
 }
 
 // Eval evaluates a parsed query across the federation.
 func (f *Federator) Eval(q *sparql.Query) (*ResultSet, error) {
+	return f.EvalContext(context.Background(), q)
+}
+
+// EvalContext evaluates a parsed query across the federation. Sources
+// whose access fails under the resilience policy are skipped and
+// reported in ResultSet.Degraded; the evaluation itself never fails
+// because of an unavailable source.
+func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSet, error) {
 	if len(f.sources) == 0 {
 		return nil, fmt.Errorf("federation: no sources registered")
 	}
-	rows, err := f.evalGroup(q.Where, []Row{{Binding: sparql.Binding{}, Used: links.NewSet()}})
+	ec := newEvalCtx(ctx)
+	rows, err := f.evalGroup(ec, q.Where, []Row{{Binding: sparql.Binding{}, Used: links.NewSet()}})
 	if err != nil {
 		return nil, err
 	}
@@ -171,9 +227,9 @@ func (f *Federator) Eval(q *sparql.Query) (*ResultSet, error) {
 		return nil, err
 	}
 	if q.Form == sparql.FormAsk {
-		return &ResultSet{Ask: res.Ask}, nil
+		return &ResultSet{Ask: res.Ask, Degraded: ec.degradedNames(f)}, nil
 	}
-	out := &ResultSet{Vars: res.Vars}
+	out := &ResultSet{Vars: res.Vars, Degraded: ec.degradedNames(f)}
 	if len(q.Aggregates) > 0 {
 		// An aggregate row depends on every solution that fed its
 		// group; attributing provenance per group would need the
@@ -227,14 +283,14 @@ func projectionKey(vars []string, b sparql.Binding) string {
 	return key
 }
 
-func (f *Federator) evalGroup(grp *sparql.GroupGraphPattern, input []Row) ([]Row, error) {
+func (f *Federator) evalGroup(ec *evalCtx, grp *sparql.GroupGraphPattern, input []Row) ([]Row, error) {
 	rows := input
 
 	patterns := append([]sparql.TriplePattern(nil), grp.Triples...)
 	for _, tp := range patterns {
 		var next []Row
 		for _, r := range rows {
-			f.matchPattern(tp, r, func(nr Row) {
+			f.matchPattern(ec, tp, r, func(nr Row) {
 				next = append(next, nr)
 			})
 		}
@@ -247,7 +303,7 @@ func (f *Federator) evalGroup(grp *sparql.GroupGraphPattern, input []Row) ([]Row
 	for _, alts := range grp.Unions {
 		var merged []Row
 		for _, alt := range alts {
-			sub, err := f.evalGroup(alt, rows)
+			sub, err := f.evalGroup(ec, alt, rows)
 			if err != nil {
 				return nil, err
 			}
@@ -259,7 +315,7 @@ func (f *Federator) evalGroup(grp *sparql.GroupGraphPattern, input []Row) ([]Row
 	for _, opt := range grp.Optionals {
 		var next []Row
 		for _, r := range rows {
-			sub, err := f.evalGroup(opt, []Row{r})
+			sub, err := f.evalGroup(ec, opt, []Row{r})
 			if err != nil {
 				return nil, err
 			}
@@ -293,15 +349,22 @@ func (f *Federator) evalGroup(grp *sparql.GroupGraphPattern, input []Row) ([]Row
 // equivalents are tried, and any equivalence used is recorded in the
 // row's provenance. Source selection: a pattern whose predicate is a
 // constant (or a variable already bound) only visits sources holding
-// that predicate.
-func (f *Federator) matchPattern(tp sparql.TriplePattern, row Row, emit func(Row)) {
+// that predicate. Sources that fail their availability probe are
+// skipped (the evaluation degrades instead of failing).
+func (f *Federator) matchPattern(ec *evalCtx, tp sparql.TriplePattern, row Row, emit func(Row)) {
 	if srcs, ok := f.selectSources(tp.P, row.Binding); ok {
 		for _, si := range srcs {
+			if !f.sourceAvailable(ec, si) {
+				continue
+			}
 			f.matchInSource(f.sources[si].Graph, tp, row, emit)
 		}
 		return
 	}
-	for _, src := range f.sources {
+	for si, src := range f.sources {
+		if !f.sourceAvailable(ec, si) {
+			continue
+		}
 		f.matchInSource(src.Graph, tp, row, emit)
 	}
 }

@@ -1,0 +1,198 @@
+// Fault tolerance of the federation read path. Decentralised Linked
+// Data sources are unreliable by nature: a federated query must survive
+// slow or failing endpoints instead of failing outright. Each source
+// access runs under a per-source deadline with bounded, jitter-backed
+// retries; repeated failures open a per-source circuit breaker, and
+// while a source's circuit is open (or its access keeps failing) the
+// query proceeds over the remaining sources and the result set is
+// annotated with the degraded source names — partial answers with a
+// marker, never an error.
+package federation
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AccessFunc is the availability hook of a source: it is invoked (under
+// the per-source deadline) before the federator evaluates patterns
+// against the source's data, standing in for the network round trip a
+// remote endpoint would need. A nil AccessFunc marks a local in-memory
+// source that cannot fail; a non-nil one that returns an error (or
+// overruns the deadline) marks the source unavailable for this query.
+// Fault-injection tests and future remote backends both plug in here.
+type AccessFunc func(ctx context.Context) error
+
+// Resilience tunes the fault-tolerant read path.
+type Resilience struct {
+	// SourceTimeout is the deadline of a single access attempt.
+	SourceTimeout time.Duration
+	// Retries is how many times a failed access is retried (attempts =
+	// Retries + 1).
+	Retries int
+	// BackoffBase is the first retry delay; it doubles per retry, with
+	// full jitter, capped at BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Breaker configures the per-source circuit breaker.
+	Breaker BreakerConfig
+}
+
+// DefaultResilience returns production-shaped defaults.
+func DefaultResilience() Resilience {
+	return Resilience{
+		SourceTimeout: 2 * time.Second,
+		Retries:       2,
+		BackoffBase:   50 * time.Millisecond,
+		BackoffMax:    time.Second,
+		Breaker:       BreakerConfig{}.withDefaults(),
+	}
+}
+
+func (r Resilience) withDefaults() Resilience {
+	d := DefaultResilience()
+	if r.SourceTimeout <= 0 {
+		r.SourceTimeout = d.SourceTimeout
+	}
+	if r.Retries < 0 {
+		r.Retries = d.Retries
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = d.BackoffBase
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = d.BackoffMax
+	}
+	r.Breaker = r.Breaker.withDefaults()
+	return r
+}
+
+// guard is the per-source fault-tolerance state. Guards are shared
+// between a base Federator and every WithLinks snapshot, so breaker
+// state persists across snapshot publications.
+type guard struct {
+	breaker *Breaker
+	mu      sync.Mutex
+	rng     *rand.Rand
+}
+
+func newGuard(cfg BreakerConfig, seed int64) *guard {
+	return &guard{breaker: NewBreaker(cfg), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *guard) jitter(d time.Duration) time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(g.rng.Int63n(int64(d)) + 1)
+}
+
+// SourceStatus is the health view of one federated source.
+type SourceStatus struct {
+	Name string
+	// Guarded is false for local in-memory sources that cannot fail.
+	Guarded bool
+	Breaker BreakerState
+}
+
+// SourceStatuses reports the per-source circuit state, in registration
+// order. Snapshots share guards with their base federator, so statuses
+// read from any of them agree.
+func (f *Federator) SourceStatuses() []SourceStatus {
+	out := make([]SourceStatus, len(f.sources))
+	for i, src := range f.sources {
+		out[i] = SourceStatus{Name: src.Name, Guarded: src.Access != nil}
+		if g := f.guards[i]; g != nil {
+			out[i].Breaker = g.breaker.State()
+		}
+	}
+	return out
+}
+
+// evalCtx carries the per-evaluation fault state: the request context,
+// the memoized per-source availability decision (one probe per source
+// per query, not one per pattern×row), and the set of degraded sources.
+type evalCtx struct {
+	ctx      context.Context
+	checked  map[int]bool
+	degraded map[int]bool
+}
+
+func newEvalCtx(ctx context.Context) *evalCtx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &evalCtx{ctx: ctx, checked: make(map[int]bool), degraded: make(map[int]bool)}
+}
+
+func (ec *evalCtx) degradedNames(f *Federator) []string {
+	if len(ec.degraded) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(ec.degraded))
+	for si := range ec.degraded {
+		names = append(names, f.sources[si].Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sourceAvailable reports whether source si may be used by this
+// evaluation, probing it (with deadline, retries and breaker) the first
+// time the query touches it.
+func (f *Federator) sourceAvailable(ec *evalCtx, si int) bool {
+	if f.sources[si].Access == nil {
+		return true // local source: always available, zero overhead
+	}
+	if ok, seen := ec.checked[si]; seen {
+		return ok
+	}
+	ok := f.probeSource(ec.ctx, si)
+	ec.checked[si] = ok
+	if !ok {
+		ec.degraded[si] = true
+	}
+	return ok
+}
+
+// probeSource runs the source's access hook under the resilience
+// policy: per-attempt deadline, bounded retries with jittered
+// exponential backoff, and the circuit breaker around the whole
+// outcome.
+func (f *Federator) probeSource(ctx context.Context, si int) bool {
+	g := f.guards[si]
+	if !g.breaker.Allow() {
+		return false // open circuit: skip the source without touching it
+	}
+	access := f.sources[si].Access
+	res := f.res
+	backoff := res.BackoffBase
+	for attempt := 0; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, res.SourceTimeout)
+		err := access(actx)
+		cancel()
+		if err == nil {
+			g.breaker.Record(true)
+			return true
+		}
+		if attempt >= res.Retries || ctx.Err() != nil {
+			g.breaker.Record(false)
+			return false
+		}
+		select {
+		case <-time.After(g.jitter(backoff)):
+		case <-ctx.Done():
+			g.breaker.Record(false)
+			return false
+		}
+		backoff *= 2
+		if backoff > res.BackoffMax {
+			backoff = res.BackoffMax
+		}
+	}
+}

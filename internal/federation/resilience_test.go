@@ -1,0 +1,258 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Failures: 3, Cooldown: 10 * time.Second, Successes: 2})
+	b.now = func() time.Time { return clock }
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("3 consecutive failures did not open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	// Cooldown elapses: half-open probes allowed.
+	clock = clock.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown probe = %v, want half-open", b.State())
+	}
+	// A half-open failure reopens immediately.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("half-open failure did not reopen the breaker")
+	}
+	// Recover: probe again, then enough successes close it.
+	clock = clock.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown probe refused")
+	}
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one success closed the breaker early")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("enough half-open successes did not close the breaker")
+	}
+}
+
+// flakyWorld builds a two-source federation where ds2 is reachable only
+// while *up is non-zero. Each dataset contributes distinct rows to the
+// test query so degradation is observable in the row count.
+func flakyWorld(t *testing.T, up *atomic.Bool, calls *atomic.Int64) *Federator {
+	t.Helper()
+	dict := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(dict)
+	g2 := rdf.NewGraphWithDict(dict)
+	p := rdf.IRI("http://x/p")
+	g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/a"), P: p, O: rdf.Literal("from-ds1")})
+	g2.Insert(rdf.Triple{S: rdf.IRI("http://ds2/b"), P: p, O: rdf.Literal("from-ds2")})
+
+	f := New(dict)
+	f.SetResilience(Resilience{
+		SourceTimeout: 50 * time.Millisecond,
+		Retries:       1,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    2 * time.Millisecond,
+		Breaker:       BreakerConfig{Failures: 2, Cooldown: 50 * time.Millisecond, Successes: 1},
+	})
+	if err := f.Add(Source{Name: "ds1", Graph: g1}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Add(Source{Name: "ds2", Graph: g2, Access: func(ctx context.Context) error {
+		calls.Add(1)
+		if up.Load() {
+			return nil
+		}
+		return errors.New("connection refused")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetLinks(links.NewSet())
+	return f
+}
+
+const bothSourcesQuery = `SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }`
+
+func TestDegradedPartialResults(t *testing.T) {
+	var up atomic.Bool
+	var calls atomic.Int64
+	up.Store(true)
+	f := flakyWorld(t, &up, &calls)
+
+	// Healthy: both sources answer, nothing degraded.
+	rs, err := f.Query(bothSourcesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || len(rs.Degraded) != 0 {
+		t.Fatalf("healthy query: %d rows, degraded %v", len(rs.Rows), rs.Degraded)
+	}
+
+	// ds2 down: the query still succeeds with ds1's row and a marker.
+	up.Store(false)
+	rs, err = f.Query(bothSourcesQuery)
+	if err != nil {
+		t.Fatalf("query with a down source must not error: %v", err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("degraded query rows = %d, want 1 (partial)", len(rs.Rows))
+	}
+	if len(rs.Degraded) != 1 || rs.Degraded[0] != "ds2" {
+		t.Fatalf("degraded = %v, want [ds2]", rs.Degraded)
+	}
+}
+
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	var up atomic.Bool
+	var calls atomic.Int64
+	f := flakyWorld(t, &up, &calls) // starts down
+
+	// Each failed query probes once (memoized per query) and records one
+	// breaker failure after exhausting its retry. Threshold 2 → two
+	// queries open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Query(bothSourcesQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.SourceStatuses()[1]; st.Breaker != BreakerOpen || !st.Guarded {
+		t.Fatalf("breaker after failures = %+v, want open", st)
+	}
+	// Open circuit: queries skip the source without calling Access.
+	before := calls.Load()
+	rs, err := f.Query(bothSourcesQuery)
+	if err != nil || len(rs.Degraded) != 1 {
+		t.Fatalf("open-circuit query: err=%v degraded=%v", err, rs.Degraded)
+	}
+	if calls.Load() != before {
+		t.Fatal("open circuit still probed the source")
+	}
+
+	// After cooldown the breaker half-opens and a healthy probe closes
+	// it (Successes: 1); results are whole again.
+	up.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	rs, err = f.Query(bothSourcesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || len(rs.Degraded) != 0 {
+		t.Fatalf("recovered query: %d rows, degraded %v", len(rs.Rows), rs.Degraded)
+	}
+	if st := f.SourceStatuses()[1]; st.Breaker != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", st.Breaker)
+	}
+}
+
+// TestSlowSourceTimesOut: a hanging source is bounded by the per-source
+// deadline and degrades the query rather than stalling it.
+func TestSlowSourceTimesOut(t *testing.T) {
+	dict := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(dict)
+	g2 := rdf.NewGraphWithDict(dict)
+	p := rdf.IRI("http://x/p")
+	g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/a"), P: p, O: rdf.Literal("v")})
+	g2.Insert(rdf.Triple{S: rdf.IRI("http://ds2/b"), P: p, O: rdf.Literal("w")})
+	f := New(dict)
+	f.SetResilience(Resilience{
+		SourceTimeout: 20 * time.Millisecond,
+		Retries:       0,
+		BackoffBase:   time.Millisecond,
+	})
+	if err := f.Add(Source{Name: "ds1", Graph: g1}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Add(Source{Name: "slow", Graph: g2, Access: func(ctx context.Context) error {
+		<-ctx.Done() // hang until the deadline cuts us off
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetLinks(links.NewSet())
+
+	start := time.Now()
+	rs, err := f.Query(bothSourcesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("slow source stalled the query for %s", elapsed)
+	}
+	if len(rs.Rows) != 1 || len(rs.Degraded) != 1 || rs.Degraded[0] != "slow" {
+		t.Fatalf("rows=%d degraded=%v", len(rs.Rows), rs.Degraded)
+	}
+}
+
+// TestSnapshotsShareBreakerState: WithLinks snapshots must observe (and
+// feed) the same breaker as the base federator, so failures seen by one
+// published snapshot protect the next.
+func TestSnapshotsShareBreakerState(t *testing.T) {
+	var up atomic.Bool
+	var calls atomic.Int64
+	f := flakyWorld(t, &up, &calls) // down
+
+	snap1 := f.WithLinks(links.NewSet())
+	for i := 0; i < 2; i++ {
+		if _, err := snap1.Query(bothSourcesQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap2 := f.WithLinks(links.NewSet())
+	if st := snap2.SourceStatuses()[1]; st.Breaker != BreakerOpen {
+		t.Fatalf("fresh snapshot breaker = %v, want open (shared state)", st.Breaker)
+	}
+	before := calls.Load()
+	if _, err := snap2.Query(bothSourcesQuery); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker on a fresh snapshot still probed the source")
+	}
+}
+
+// TestProbeMemoizedPerQuery: one query over a many-pattern BGP probes a
+// failing source once, not once per pattern per row.
+func TestProbeMemoizedPerQuery(t *testing.T) {
+	var up atomic.Bool
+	var calls atomic.Int64
+	f := flakyWorld(t, &up, &calls) // down; Retries: 1 → 2 calls per probe
+	q := fmt.Sprintf("SELECT ?a WHERE { ?a <http://x/p> ?b . ?c <http://x/p> ?d . }")
+	if _, err := f.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 { // 1 probe = initial try + 1 retry
+		t.Fatalf("access called %d times, want 2 (memoized probe)", got)
+	}
+}

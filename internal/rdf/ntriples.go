@@ -60,8 +60,13 @@ func WriteNTriples(w io.Writer, g *Graph) error {
 }
 
 // ParseTripleLine parses a single N-Triples statement (which must end
-// with a '.').
+// with a '.'). N-Triples documents are UTF-8 by definition; statements
+// carrying invalid byte sequences are rejected rather than silently
+// mangled into replacement characters.
 func ParseTripleLine(s string) (Triple, error) {
+	if !utf8.ValidString(s) {
+		return Triple{}, fmt.Errorf("invalid UTF-8 in statement")
+	}
 	p := &ntParser{in: s}
 	subj, err := p.term()
 	if err != nil {

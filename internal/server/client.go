@@ -1,94 +1,247 @@
 // Client is the thin HTTP client of alexd used by cmd/fedquery's
 // --server mode and cmd/alexload. It speaks the JSON wire types defined
 // in handlers.go.
+//
+// Transient failures — transport errors, 429 backpressure and 5xx
+// responses (e.g. the 503 a journal outage produces) — are retried with
+// jittered exponential backoff, honoring the server's Retry-After
+// header, up to RetryPolicy.MaxAttempts and never past the caller's
+// context deadline. Safe to retry: /query and /links are reads, and
+// /feedback is only retried on outcomes where the server did NOT accept
+// the item (429/503 are explicit not-accepted responses).
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
 // ErrQueueFull is returned by Client.Feedback when the server responded
-// 429: the feedback was NOT accepted and should be retried later.
+// 429 on the final attempt: the feedback was NOT accepted and should be
+// retried later.
 var ErrQueueFull = errors.New("server: feedback queue full (429)")
+
+// RetryPolicy tunes the client's handling of transient failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 disables retries).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; it doubles per retry with
+	// full jitter, capped at BackoffMax. A server Retry-After raises
+	// (never lowers) the delay.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// DefaultRetryPolicy retries transient failures a few times within
+// roughly a second and a half of cumulative backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BackoffBase: 100 * time.Millisecond, BackoffMax: 2 * time.Second}
+}
 
 // Client talks to an alexd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // NewClient returns a client for addr, which may be "host:port" or a
-// full http:// URL.
+// full http:// URL, with DefaultRetryPolicy.
 func NewClient(addr string) *Client {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
-	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{
+		base:  base,
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		retry: DefaultRetryPolicy(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
-func (c *Client) postJSON(path string, req, resp any) (int, error) {
+// SetRetryPolicy replaces the retry policy (e.g. MaxAttempts: 1 to
+// disable retries). Not safe concurrently with in-flight requests.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// CloseIdleConnections releases the client's pooled connections.
+func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }
+
+// retryableStatus reports whether a response status is worth retrying:
+// backpressure, server-side outages and gateway errors. 4xx are the
+// caller's fault and never retried.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header in its delay-seconds form.
+func retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(d)) + 1)
+}
+
+// do issues one request with retries. It returns the final attempt's
+// status, headers and body; err is non-nil only when no response was
+// obtained at all (transport failure or context expiry).
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, http.Header, []byte, error) {
+	p := c.retry
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = DefaultRetryPolicy().BackoffBase
+	}
+	if p.BackoffMax < p.BackoffBase {
+		p.BackoffMax = p.BackoffBase
+	}
+	backoff := p.BackoffBase
+	var lastErr error
+	var wait time.Duration
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.jitter(backoff)
+			if wait > delay {
+				delay = wait // the server asked for at least this much
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return 0, nil, nil, fmt.Errorf("server: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+			backoff *= 2
+			if backoff > p.BackoffMax {
+				backoff = p.BackoffMax
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, nil, fmt.Errorf("server: %w", ctx.Err())
+			}
+			lastErr = err // transport error: retry
+			wait = 0
+			continue
+		}
+		data, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if retryableStatus(resp.StatusCode) && attempt < p.MaxAttempts-1 {
+			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
+			wait, _ = retryAfter(resp.Header)
+			continue
+		}
+		return resp.StatusCode, resp.Header, data, readErr
+	}
+	return 0, nil, nil, lastErr
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, req, resp any) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	status, _, data, err := c.do(ctx, http.MethodPost, path, body)
 	if err != nil {
-		return 0, err
+		return status, err
 	}
-	defer hr.Body.Close()
-	data, err := io.ReadAll(hr.Body)
-	if err != nil {
-		return hr.StatusCode, err
-	}
-	if hr.StatusCode >= 400 {
+	if status >= 400 {
 		var e errorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return hr.StatusCode, fmt.Errorf("server: %s", e.Error)
+			return status, fmt.Errorf("server: %s", e.Error)
 		}
-		return hr.StatusCode, fmt.Errorf("server: HTTP %d", hr.StatusCode)
+		return status, fmt.Errorf("server: HTTP %d", status)
 	}
 	if resp != nil {
 		if err := json.Unmarshal(data, resp); err != nil {
-			return hr.StatusCode, err
+			return status, err
 		}
 	}
-	return hr.StatusCode, nil
+	return status, nil
 }
 
-func (c *Client) getJSON(path string, resp any) error {
-	hr, err := c.hc.Get(c.base + path)
+func (c *Client) getJSON(ctx context.Context, path string, resp any) error {
+	status, _, data, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
-	defer hr.Body.Close()
-	if hr.StatusCode >= 400 {
-		return fmt.Errorf("server: HTTP %d", hr.StatusCode)
+	if status >= 400 {
+		return fmt.Errorf("server: HTTP %d", status)
 	}
-	return json.NewDecoder(hr.Body).Decode(resp)
+	return json.Unmarshal(data, resp)
 }
 
 // Query evaluates a federated SPARQL query on the server.
 func (c *Client) Query(query string) (*QueryResponse, error) {
+	return c.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query bounded by ctx (including retry backoff).
+func (c *Client) QueryContext(ctx context.Context, query string) (*QueryResponse, error) {
 	var out QueryResponse
-	if _, err := c.postJSON("/query", QueryRequest{Query: query}, &out); err != nil {
+	if _, err := c.postJSON(ctx, "/query", QueryRequest{Query: query}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Feedback reports an answer-level verdict on the links of a row.
-// Returns ErrQueueFull if the server is backpressuring.
+// Returns ErrQueueFull if the server is still backpressuring after the
+// policy's retries.
 func (c *Client) Feedback(rowLinks []LinkJSON, approve bool) error {
-	status, err := c.postJSON("/feedback", FeedbackRequest{Approve: approve, Links: rowLinks}, nil)
+	return c.FeedbackContext(context.Background(), rowLinks, approve)
+}
+
+// FeedbackContext is Feedback bounded by ctx (including retry backoff).
+func (c *Client) FeedbackContext(ctx context.Context, rowLinks []LinkJSON, approve bool) error {
+	status, err := c.postJSON(ctx, "/feedback", FeedbackRequest{Approve: approve, Links: rowLinks}, nil)
 	if status == http.StatusTooManyRequests {
 		return ErrQueueFull
 	}
@@ -98,7 +251,7 @@ func (c *Client) Feedback(rowLinks []LinkJSON, approve bool) error {
 // Links fetches the published candidate link set.
 func (c *Client) Links() (*LinksResponse, error) {
 	var out LinksResponse
-	if err := c.getJSON("/links", &out); err != nil {
+	if err := c.getJSON(context.Background(), "/links", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -107,7 +260,7 @@ func (c *Client) Links() (*LinksResponse, error) {
 // Healthz fetches the health report.
 func (c *Client) Healthz() (*HealthResponse, error) {
 	var out HealthResponse
-	if err := c.getJSON("/healthz", &out); err != nil {
+	if err := c.getJSON(context.Background(), "/healthz", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -115,11 +268,12 @@ func (c *Client) Healthz() (*HealthResponse, error) {
 
 // MetricsText fetches the raw Prometheus exposition.
 func (c *Client) MetricsText() (string, error) {
-	hr, err := c.hc.Get(c.base + "/metrics")
+	status, _, data, err := c.do(context.Background(), http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return "", err
 	}
-	defer hr.Body.Close()
-	data, err := io.ReadAll(hr.Body)
-	return string(data), err
+	if status >= 400 {
+		return "", fmt.Errorf("server: HTTP %d", status)
+	}
+	return string(data), nil
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers failures[i] for the i-th request and 200 with an
+// empty query response once the scripted failures run out.
+func flakyHandler(calls *atomic.Int64, failures ...int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(failures) {
+			w.WriteHeader(failures[n])
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"rows":[],"snapshot_version":1}`)) //nolint:errcheck
+	})
+}
+
+func fastRetryClient(url string, attempts int) *Client {
+	c := NewClient(url)
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: attempts,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	})
+	return c
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&calls, http.StatusServiceUnavailable, http.StatusInternalServerError))
+	defer ts.Close()
+
+	c := fastRetryClient(ts.URL, 4)
+	if _, err := c.Query("SELECT ?s WHERE { ?s ?p ?o . }"); err != nil {
+		t.Fatalf("query through 2 transient failures: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestClientCapsAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastRetryClient(ts.URL, 3)
+	if _, err := c.Query("SELECT ?s WHERE { ?s ?p ?o . }"); err == nil {
+		t.Fatal("query against a permanently failing server succeeded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := fastRetryClient(ts.URL, 4)
+	if _, err := c.Query("nonsense"); err == nil {
+		t.Fatal("400 did not surface as an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx retried: %d attempts", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"rows":[],"snapshot_version":1}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := fastRetryClient(ts.URL, 2) // backoff alone would retry in ~1ms
+	start := time.Now()
+	if _, err := c.Query("SELECT ?s WHERE { ?s ?p ?o . }"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %s, Retry-After asked for 1s", elapsed)
+	}
+}
+
+func TestClientRespectsContextDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastRetryClient(ts.URL, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.FeedbackContext(ctx, []LinkJSON{{E1: "a", E2: "b"}}, true)
+	if err == nil {
+		t.Fatal("feedback against a failing server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client ignored the context deadline: returned after %s", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("deadline of 50ms vs Retry-After 30s: %d attempts, want 1", got)
+	}
+}

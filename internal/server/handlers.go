@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"alex/internal/federation"
@@ -57,12 +58,16 @@ type QueryRequest struct {
 }
 
 // QueryResponse carries the result set and the snapshot it was computed
-// against.
+// against. A non-empty DegradedSources means the answer is partial: the
+// named sources were unavailable (open circuit, access failure or
+// timeout) and their rows are missing. The same marker travels in the
+// X-Alex-Degraded response header.
 type QueryResponse struct {
 	Vars            []string  `json:"vars,omitempty"`
 	Rows            []RowJSON `json:"rows"`
 	Ask             *bool     `json:"ask,omitempty"`
 	SnapshotVersion uint64    `json:"snapshot_version"`
+	DegradedSources []string  `json:"degraded_sources,omitempty"`
 }
 
 // FeedbackRequest reports an answer-level verdict: the links of the
@@ -88,15 +93,37 @@ type LinksResponse struct {
 	Links           []LinkJSON `json:"links"`
 }
 
-// HealthResponse reports liveness and writer progress.
+// SourceHealth reports one federated source's circuit state.
+type SourceHealth struct {
+	Name string `json:"name"`
+	// Guarded is false for local in-memory sources that cannot fail.
+	Guarded bool `json:"guarded"`
+	// Breaker is "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+}
+
+// JournalHealth reports the durability layer's state.
+type JournalHealth struct {
+	Enabled bool `json:"enabled"`
+	// CheckpointSeq is the journal sequence the checkpoint loaded at
+	// startup covered; Replayed is how many journal records were
+	// applied on top of it.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	Replayed      int    `json:"replayed"`
+}
+
+// HealthResponse reports liveness, writer progress, per-source breaker
+// state and the durability layer.
 type HealthResponse struct {
-	Status          string  `json:"status"`
-	SnapshotVersion uint64  `json:"snapshot_version"`
-	SnapshotAgeSecs float64 `json:"snapshot_age_seconds"`
-	Episode         int     `json:"episode"`
-	CandidateLinks  int     `json:"candidate_links"`
-	QueueDepth      int     `json:"queue_depth"`
-	QueueCapacity   int     `json:"queue_capacity"`
+	Status          string         `json:"status"`
+	SnapshotVersion uint64         `json:"snapshot_version"`
+	SnapshotAgeSecs float64        `json:"snapshot_age_seconds"`
+	Episode         int            `json:"episode"`
+	CandidateLinks  int            `json:"candidate_links"`
+	QueueDepth      int            `json:"queue_depth"`
+	QueueCapacity   int            `json:"queue_capacity"`
+	Sources         []SourceHealth `json:"sources"`
+	Journal         JournalHealth  `json:"journal"`
 }
 
 type errorResponse struct {
@@ -179,7 +206,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Inc()
 	s.metrics.queryRows.Add(uint64(len(res.Rows)))
 
-	out := QueryResponse{Vars: res.Vars, Rows: make([]RowJSON, 0, len(res.Rows)), SnapshotVersion: snap.Version}
+	out := QueryResponse{
+		Vars:            res.Vars,
+		Rows:            make([]RowJSON, 0, len(res.Rows)),
+		SnapshotVersion: snap.Version,
+		DegradedSources: res.Degraded,
+	}
+	if len(res.Degraded) > 0 {
+		s.metrics.degradedQueries.Inc()
+		w.Header().Set("X-Alex-Degraded", strings.Join(res.Degraded, ","))
+	}
 	if isAsk(req.Query, res) {
 		ask := res.Ask
 		out.Ask = &ask
@@ -212,8 +248,11 @@ func (s *Server) rowJSON(row federation.Row) RowJSON {
 }
 
 // evalWithContext runs the query in a helper goroutine so the handler
-// can honor the deadline. An abandoned evaluation finishes in the
-// background against its snapshot (which stays valid) and is discarded.
+// can honor the deadline even mid-evaluation. The context also flows
+// into the federator's per-source access probes, so an expiring request
+// cancels any in-flight retries. An abandoned evaluation finishes in
+// the background against its snapshot (which stays valid) and is
+// discarded.
 func evalWithContext(ctx context.Context, fed *federation.Federator, query string) (*federation.ResultSet, error) {
 	type out struct {
 		res *federation.ResultSet
@@ -221,7 +260,7 @@ func evalWithContext(ctx context.Context, fed *federation.Federator, query strin
 	}
 	ch := make(chan out, 1)
 	go func() {
-		res, err := fed.Query(query)
+		res, err := fed.QueryContext(ctx, query)
 		ch <- out{res, err}
 	}()
 	select {
@@ -255,9 +294,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		item.links = append(item.links, l)
 	}
-	if !s.enqueue(item) {
+	// Canonical wire payload for the journal: what replay will decode.
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	status, err := s.accept(item, payload)
+	if err != nil {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "feedback queue full, retry later"})
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusAccepted, FeedbackResponse{Queued: true, Links: len(item.links)})
@@ -303,6 +349,11 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
+	statuses := s.base.SourceStatuses()
+	srcs := make([]SourceHealth, len(statuses))
+	for i, st := range statuses {
+		srcs[i] = SourceHealth{Name: st.Name, Guarded: st.Guarded, Breaker: st.Breaker.String()}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:          "ok",
 		SnapshotVersion: snap.Version,
@@ -311,6 +362,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CandidateLinks:  snap.Links.Len(),
 		QueueDepth:      len(s.queue),
 		QueueCapacity:   cap(s.queue),
+		Sources:         srcs,
+		Journal: JournalHealth{
+			Enabled:       s.log != nil,
+			CheckpointSeq: s.recovery.CheckpointSeq,
+			Replayed:      s.recovery.Replayed,
+		},
 	})
 }
 

@@ -117,11 +117,15 @@ const (
 
 type metric struct {
 	name, help string
-	kind       metricKind
-	counter    *Counter
-	gauge      *Gauge
-	gaugeFn    func() float64
-	hist       *Histogram
+	// labels is a rendered Prometheus label set ("k=\"v\",..."), empty
+	// for unlabeled metrics. Several metrics may share a name with
+	// distinct labels; they form one family in the exposition.
+	labels  string
+	kind    metricKind
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -140,10 +144,14 @@ func NewRegistry() *Registry {
 func (r *Registry) register(m metric) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.names[m.name] {
-		panic(fmt.Sprintf("server: metric %q registered twice", m.name))
+	key := m.name
+	if m.labels != "" {
+		key += "{" + m.labels + "}"
 	}
-	r.names[m.name] = true
+	if r.names[key] {
+		panic(fmt.Sprintf("server: metric %q registered twice", key))
+	}
+	r.names[key] = true
 	r.metrics = append(r.metrics, m)
 }
 
@@ -166,6 +174,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
 }
 
+// LabeledGaugeFunc registers one labeled sample of a gauge family;
+// labels is a rendered Prometheus label set such as `source="ds1"`.
+// Samples sharing a name must be registered consecutively to form one
+// family in the exposition.
+func (r *Registry) LabeledGaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(metric{name: name, labels: labels, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
 // Histogram registers and returns a histogram with the given bucket
 // upper bounds (nil for DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -179,15 +195,34 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	ms := append([]metric(nil), r.metrics...)
 	r.mu.Unlock()
+	prevFamily := ""
 	for _, m := range ms {
-		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		sample := m.name
+		if m.labels != "" {
+			sample += "{" + m.labels + "}"
+		}
+		if m.name != prevFamily {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+			prevFamily = m.name
+		} else {
+			// Later samples of the same family: HELP/TYPE already out.
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s %d\n", sample, m.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s %s\n", sample, formatFloat(m.gauge.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(w, "%s %s\n", sample, formatFloat(m.gaugeFn()))
+			}
+			continue
+		}
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, sample, m.counter.Value())
 		case kindGauge:
-			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.gauge.Value()))
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, sample, formatFloat(m.gauge.Value()))
 		case kindGaugeFunc:
-			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.gaugeFn()))
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, sample, formatFloat(m.gaugeFn()))
 		case kindHistogram:
 			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
 			var cum uint64

@@ -1,0 +1,374 @@
+// Crash-recovery and chaos tests of the serving layer's durability
+// contract: a 202 ack means the feedback survives any crash, and a
+// recovered server converges to the exact state an uninterrupted run
+// would have reached.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"alex/internal/faultfs"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// durableCfg is the deterministic configuration the recovery tests
+// share: tiny episodes, no timer flushes (only EpisodeSize and the
+// drain path close episodes, so batching is a pure function of the
+// feedback sequence), frequent checkpoints.
+func durableCfg(dir string) Config {
+	return Config{
+		EpisodeSize:     2,
+		FlushInterval:   time.Hour,
+		CheckpointEvery: 2,
+		DataDir:         dir,
+		DrainTimeout:    5 * time.Second,
+	}
+}
+
+// feedbackScript returns a deterministic mixed approve/reject sequence
+// over tinyWorld's two links.
+func feedbackScript(n int) []FeedbackRequest {
+	good := []LinkJSON{{E1: "http://ds1/a1", E2: "http://ds2/b1"}}
+	bad := []LinkJSON{{E1: "http://ds1/a2", E2: "http://ds2/b2w"}}
+	out := make([]FeedbackRequest, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			out[i] = FeedbackRequest{Approve: true, Links: good}
+		case 1:
+			out[i] = FeedbackRequest{Approve: false, Links: bad}
+		default:
+			out[i] = FeedbackRequest{Approve: true, Links: append(append([]LinkJSON(nil), good...), bad...)}
+		}
+	}
+	return out
+}
+
+func postFeedback(t *testing.T, url string, req FeedbackRequest) int {
+	t.Helper()
+	resp, err := http.Post(url+"/feedback", "application/json", strings.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// linkIRIs renders a link set as sorted IRI pairs, comparable across
+// servers with independently built (but identically loaded)
+// dictionaries.
+func linkIRIs(dict *rdf.Dict, ls links.Set) []string {
+	out := make([]string, 0, ls.Len())
+	for _, l := range ls.Slice() {
+		out = append(out, dict.Term(l.E1).Value+" "+dict.Term(l.E2).Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runTwin applies a feedback prefix to a fresh, identically seeded
+// world on a journal-less server and returns its final (post-Close)
+// link set and episode count — the ground truth a recovered server must
+// match.
+func runTwin(t *testing.T, script []FeedbackRequest) ([]string, int) {
+	t.Helper()
+	dict, sources, sys, _ := tinyWorld(t)
+	cfg := durableCfg("")
+	cfg.DataDir = ""
+	s, err := New(sys, dict, sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	for i, req := range script {
+		if code := postFeedback(t, ts.URL, req); code != http.StatusAccepted {
+			t.Fatalf("twin feedback %d: status %d", i, code)
+		}
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return linkIRIs(dict, s.Snapshot().Links), sys.Episode()
+}
+
+// TestCrashRecoveryEquivalence is the core durability acceptance test:
+// ack k feedback items, kill the writer at an arbitrary point in its
+// pipeline (some items applied, some mid-episode, some only journaled;
+// checkpoints interleaved), recover into a fresh engine, and require
+// the recovered state to equal — link for link, episode for episode —
+// an uninterrupted run over the same k items.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	script := feedbackScript(9)
+	for kill := 1; kill <= len(script); kill += 2 {
+		kill := kill
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			dir := t.TempDir()
+			dict, sources, sys, _ := tinyWorld(t)
+			s, err := New(sys, dict, sources, durableCfg(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			for i := 0; i < kill; i++ {
+				if code := postFeedback(t, ts.URL, script[i]); code != http.StatusAccepted {
+					t.Fatalf("feedback %d: status %d, want 202", i, code)
+				}
+			}
+			ts.Close()
+			s.abort() // crash: no drain, no final checkpoint
+			s.Close() //nolint:errcheck // releases the journal fd
+
+			dict2, sources2, sys2, _ := tinyWorld(t)
+			rec, err := New(sys2, dict2, sources2, durableCfg(dir))
+			if err != nil {
+				t.Fatalf("recovery after kill=%d: %v", kill, err)
+			}
+			st := rec.Recovery()
+			if int(st.CheckpointSeq)+st.Replayed < kill {
+				t.Fatalf("recovery covered %d+%d records, %d were acked",
+					st.CheckpointSeq, st.Replayed, kill)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			wantLinks, wantEpisodes := runTwin(t, script[:kill])
+			gotLinks := linkIRIs(dict2, rec.Snapshot().Links)
+			if fmt.Sprint(gotLinks) != fmt.Sprint(wantLinks) {
+				t.Fatalf("recovered links diverge from uninterrupted run:\n got %v\nwant %v", gotLinks, wantLinks)
+			}
+			if got := sys2.Episode(); got != wantEpisodes {
+				t.Fatalf("recovered episodes = %d, uninterrupted run = %d", got, wantEpisodes)
+			}
+		})
+	}
+}
+
+// TestCleanShutdownNeedsNoReplay: graceful Close leaves a final
+// checkpoint, so the next start replays nothing and still sees every
+// acked item.
+func TestCleanShutdownNeedsNoReplay(t *testing.T) {
+	dir := t.TempDir()
+	script := feedbackScript(5)
+	dict, sources, sys, _ := tinyWorld(t)
+	s, err := New(sys, dict, sources, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	for i, req := range script {
+		if code := postFeedback(t, ts.URL, req); code != http.StatusAccepted {
+			t.Fatalf("feedback %d: status %d", i, code)
+		}
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := linkIRIs(dict, s.Snapshot().Links)
+
+	dict2, sources2, sys2, _ := tinyWorld(t)
+	rec, err := New(sys2, dict2, sources2, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	st := rec.Recovery()
+	if st.Replayed != 0 {
+		t.Fatalf("clean shutdown still replayed %d records", st.Replayed)
+	}
+	if st.CheckpointSeq != uint64(len(script)) {
+		t.Fatalf("checkpoint seq = %d, want %d (all acked items)", st.CheckpointSeq, len(script))
+	}
+	if got := linkIRIs(dict2, rec.Snapshot().Links); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restart changed the link set:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFeedbackNotAckedWhenJournalFails: a failing fsync must surface as
+// 503 (retryable, not acked), never as a 202 the server cannot honor.
+func TestFeedbackNotAckedWhenJournalFails(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	dict, sources, sys, _ := tinyWorld(t)
+	cfg := durableCfg(dir)
+	cfg.FS = ffs
+	s, err := New(sys, dict, sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	script := feedbackScript(2)
+	if code := postFeedback(t, ts.URL, script[0]); code != http.StatusAccepted {
+		t.Fatalf("healthy feedback: status %d", code)
+	}
+	ffs.FailAllSyncs(true)
+	resp, err := http.Post(ts.URL+"/feedback", "application/json", strings.NewReader(mustJSON(t, script[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fsync-failure feedback: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The journal heals once fsync works again.
+	ffs.FailAllSyncs(false)
+	if code := postFeedback(t, ts.URL, script[1]); code != http.StatusAccepted {
+		t.Fatalf("post-recovery feedback: status %d", code)
+	}
+}
+
+// TestDegradedQueryMarkedOnWire: a query over a federation with a dead
+// source answers partially, with the degradation marker in both the
+// JSON body and the X-Alex-Degraded header, and /healthz names the
+// open breaker.
+func TestDegradedQueryMarkedOnWire(t *testing.T) {
+	dict, sources, sys, _ := tinyWorld(t)
+	sources[1].Access = func(ctx context.Context) error {
+		return fmt.Errorf("connection refused")
+	}
+	cfg := Config{Resilience: federation.Resilience{
+		SourceTimeout: 50 * time.Millisecond,
+		Retries:       0,
+		BackoffBase:   time.Millisecond,
+		Breaker:       federation.BreakerConfig{Failures: 1, Cooldown: time.Hour, Successes: 1},
+	}}
+	s, ts, client := newTestServer(t, sys, dict, sources, cfg)
+
+	// Unbound predicate: source selection cannot exclude ds2, so the
+	// query probes it and must degrade.
+	body := `{"query":"SELECT ?s ?o WHERE { ?s ?p ?o . }"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query status = %d, want 200 (partial results)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Alex-Degraded"); got != "ds2" {
+		t.Fatalf("X-Alex-Degraded = %q, want \"ds2\"", got)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.DegradedSources) != 1 || qr.DegradedSources[0] != "ds2" {
+		t.Fatalf("degraded_sources = %v", qr.DegradedSources)
+	}
+	if len(qr.Rows) != 2 {
+		t.Fatalf("rows = %d, want ds1's 2 label rows", len(qr.Rows))
+	}
+
+	// The failure tripped the breaker (threshold 1); /healthz reports it.
+	h, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Sources) != 2 {
+		t.Fatalf("healthz sources = %+v", h.Sources)
+	}
+	if h.Sources[0].Breaker != "closed" || h.Sources[0].Guarded {
+		t.Fatalf("ds1 health = %+v, want unguarded closed", h.Sources[0])
+	}
+	if h.Sources[1].Breaker != "open" || !h.Sources[1].Guarded {
+		t.Fatalf("ds2 health = %+v, want guarded open", h.Sources[1])
+	}
+
+	// /metrics exposes the labeled breaker gauge and the degraded counter.
+	m, err := client.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, `alexd_source_breaker_state{source="ds2"} 1`) {
+		t.Fatalf("breaker gauge missing or wrong:\n%s", m)
+	}
+	if v := metricValue(t, m, "alexd_degraded_queries_total"); v != 1 {
+		t.Fatalf("alexd_degraded_queries_total = %v, want 1", v)
+	}
+	_ = s
+}
+
+// TestNoGoroutineLeaks cycles full server lifetimes (start, serve
+// queries and feedback, shut down) and requires the goroutine count to
+// return to its baseline: neither the writer, nor abandoned query
+// evaluations, nor the journal may leak.
+func TestNoGoroutineLeaks(t *testing.T) {
+	dir := t.TempDir()
+	cycle := func() {
+		dict, sources, sys, _ := tinyWorld(t)
+		cfg := durableCfg(dir)
+		cfg.FlushInterval = 10 * time.Millisecond
+		s, err := New(sys, dict, sources, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		client := NewClient(ts.URL)
+		if _, err := client.Query(`SELECT ?n WHERE { <http://ds1/a1> <http://ds2/name> ?n . }`); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Feedback([]LinkJSON{{E1: "http://ds1/a1", E2: "http://ds2/b1"}}, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Healthz(); err != nil {
+			t.Fatal(err)
+		}
+		client.CloseIdleConnections()
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cycle() // warm-up: lets the runtime and net/http settle their helpers
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		cycle()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines: %d before, %d after 5 cycles\n%s",
+				before, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -15,16 +15,38 @@
 // never mutated after publication (federation.Federator.WithLinks
 // enforces the frozen read path).
 //
-// Robustness is part of the design: per-request timeouts via context,
-// backpressure (HTTP 429 + Retry-After when the feedback queue is
-// full — feedback is acknowledged only after it is durably queued),
-// panic-recovery middleware, graceful shutdown that drains queued
-// feedback and finishes the open episode, and a built-in metrics
-// registry exported at /metrics in Prometheus text format.
+// Robustness is part of the design, on both the write and read paths:
+//
+// Durability (write path): with a data directory configured, every
+// accepted feedback item is appended to a write-ahead journal and
+// fsynced BEFORE the 202 ack leaves the server, so the ack is a real
+// durability promise — an acknowledged item survives any crash. The
+// writer checkpoints full ALEX state (candidate links, policy returns,
+// blacklist, rollback log) every CheckpointEvery episodes and again on
+// graceful shutdown; restart loads the newest valid checkpoint and
+// replays only the journal tail, idempotently (a clean shutdown needs
+// no replay at all). Torn or corrupt journal tails are truncated on
+// open. When the journal cannot be written, /feedback returns 503
+// instead of lying with a 202.
+//
+// Fault tolerance (read path): each federated source runs behind a
+// per-source deadline, bounded jittered retries and a circuit breaker
+// (see internal/federation). Queries over a degraded federation return
+// partial results with a degradation marker rather than failing, and
+// /healthz reports per-source breaker state.
+//
+// Also: per-request timeouts via context, backpressure (HTTP 429 +
+// Retry-After when the feedback queue is full), panic-recovery
+// middleware, graceful shutdown that drains queued feedback and
+// finishes the open episode, and a built-in metrics registry exported
+// at /metrics in Prometheus text format.
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -34,6 +56,7 @@ import (
 	"alex/internal/federation"
 	"alex/internal/links"
 	"alex/internal/rdf"
+	"alex/internal/wal"
 )
 
 // Engine is the feedback-consuming side of the writer goroutine.
@@ -46,6 +69,15 @@ type Engine interface {
 	Candidates() links.Set
 	CandidateCount() int
 	Episode() int
+}
+
+// Checkpointer is the optional engine surface that enables full-state
+// checkpoints. *core.System satisfies it (core/snapshot.go). Engines
+// without it still get journaling, but every restart replays the whole
+// journal from the initial state.
+type Checkpointer interface {
+	Save(w io.Writer) error
+	Restore(r io.Reader) error
 }
 
 // Config holds the serving-layer tunables.
@@ -67,16 +99,31 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for the writer to drain
 	// queued feedback and finish the open episode.
 	DrainTimeout time.Duration
+	// DataDir, when non-empty, enables the write-ahead feedback journal
+	// and state checkpoints in that directory. Empty keeps the pre-WAL
+	// in-memory behavior (acks promise ordering, not durability).
+	DataDir string
+	// CheckpointEvery is how many completed episodes elapse between
+	// checkpoints (plus one final checkpoint at graceful shutdown).
+	CheckpointEvery int
+	// FS overrides the journal's file operations; nil uses the real
+	// file system. Fault-injection tests pass a faultfs.FS.
+	FS wal.FS
+	// Resilience tunes the fault-tolerant federation read path
+	// (per-source deadlines, retries, circuit breakers). The zero value
+	// means federation.DefaultResilience.
+	Resilience federation.Resilience
 }
 
 // DefaultConfig returns serving defaults suitable for interactive use.
 func DefaultConfig() Config {
 	return Config{
-		EpisodeSize:   100,
-		QueueSize:     1024,
-		FlushInterval: 250 * time.Millisecond,
-		QueryTimeout:  10 * time.Second,
-		DrainTimeout:  10 * time.Second,
+		EpisodeSize:     100,
+		QueueSize:       1024,
+		FlushInterval:   250 * time.Millisecond,
+		QueryTimeout:    10 * time.Second,
+		DrainTimeout:    10 * time.Second,
+		CheckpointEvery: 16,
 	}
 }
 
@@ -97,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = d.DrainTimeout
 	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = d.CheckpointEvery
+	}
 	return c
 }
 
@@ -112,10 +162,21 @@ type Snapshot struct {
 }
 
 // feedbackItem is one queued answer-level feedback: the links an answer
-// row used, with one verdict for all of them.
+// row used, with one verdict for all of them. seq is the item's journal
+// sequence number (0 when journaling is off).
 type feedbackItem struct {
+	seq      uint64
 	links    []links.Link
 	positive bool
+}
+
+// RecoveryStats reports what startup recovery did.
+type RecoveryStats struct {
+	// CheckpointSeq is the journal sequence the loaded checkpoint
+	// covered (0 = started from the engine's initial state).
+	CheckpointSeq uint64
+	// Replayed is the number of journal records applied on top.
+	Replayed int
 }
 
 // Server serves federated queries and routes feedback into ALEX.
@@ -125,39 +186,78 @@ type Server struct {
 	dict *rdf.Dict
 	base *federation.Federator
 
-	snap    atomic.Pointer[Snapshot]
-	queue   chan feedbackItem
-	stop    chan struct{}
-	done    chan struct{}
-	closing sync.Once
+	// Durability layer; log is nil when DataDir is unset, ckpt is nil
+	// when the engine cannot checkpoint. logMu serializes journal
+	// appends WITH the queue-capacity check, so a journaled record
+	// always has a reserved queue slot (no acked-but-dropped items) —
+	// and competing fsyncs batch behind it.
+	log      *wal.Log
+	ckpt     Checkpointer
+	logMu    sync.Mutex
+	recovery RecoveryStats
+
+	snap     atomic.Pointer[Snapshot]
+	queue    chan feedbackItem
+	stop     chan struct{}
+	die      chan struct{} // crash simulation: writer exits without drain
+	done     chan struct{}
+	closing  sync.Once
+	aborting sync.Once
+
+	// w is the writer goroutine's state. New touches it during replay,
+	// strictly before the goroutine starts.
+	w writerState
 
 	mux     http.Handler
 	reg     *Registry
 	metrics serverMetrics
 }
 
+// writerState is the single-writer bookkeeping: the open episode, the
+// snapshot version counter, and the checkpoint cursor.
+type writerState struct {
+	pending   int       // link-level items in the open episode
+	epStart   time.Time // when the open episode began
+	version   uint64    // last published snapshot version
+	sinceCkpt int       // episodes completed since the last checkpoint
+	applied   uint64    // journal seq of the newest applied item
+	ckptSeq   uint64    // journal seq covered by the last checkpoint
+	replaying bool      // suppress per-episode publication during replay
+}
+
 type serverMetrics struct {
-	queries           *Counter
-	queryErrors       *Counter
-	queryTimeouts     *Counter
-	queryRows         *Counter
-	queryDuration     *Histogram
-	feedbackQueued    *Counter
-	feedbackThrottled *Counter
-	feedbackLinks     *Counter
-	episodes          *Counter
-	episodeDuration   *Histogram
-	panics            *Counter
+	queries            *Counter
+	queryErrors        *Counter
+	queryTimeouts      *Counter
+	queryRows          *Counter
+	queryDuration      *Histogram
+	degradedQueries    *Counter
+	feedbackQueued     *Counter
+	feedbackThrottled  *Counter
+	feedbackLinks      *Counter
+	episodes           *Counter
+	episodeDuration    *Histogram
+	panics             *Counter
+	journalFsync       *Histogram
+	journalErrors      *Counter
+	checkpoints        *Counter
+	checkpointErrors   *Counter
+	checkpointDuration *Histogram
 }
 
 // New builds a Server over an engine and the federation sources the
-// queries run against. All graphs must share dict. The writer goroutine
-// starts immediately; the initial snapshot (version 1) is published
-// before New returns, so queries are answerable at once.
+// queries run against. All graphs must share dict. With Config.DataDir
+// set, New first recovers: it restores the newest valid checkpoint into
+// the engine and replays the journal tail (idempotently — records a
+// checkpoint already covers are skipped), so the first published
+// snapshot already reflects every previously acknowledged feedback
+// item. The writer goroutine starts before New returns and the initial
+// snapshot (version 1) is published, so queries are answerable at once.
 func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*Server, error) {
 	base := federation.New(dict)
+	base.SetResilience(cfg.Resilience)
 	for _, src := range sources {
-		if err := base.AddSource(src.Name, src.Graph); err != nil {
+		if err := base.Add(src); err != nil {
 			return nil, err
 		}
 	}
@@ -169,14 +269,71 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 		base:  base,
 		queue: make(chan feedbackItem, cfg.QueueSize),
 		stop:  make(chan struct{}),
+		die:   make(chan struct{}),
 		done:  make(chan struct{}),
 		reg:   NewRegistry(),
 	}
 	s.registerMetrics()
+	if cfg.DataDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	s.w.version = 1
 	s.publish(1)
 	s.mux = s.routes()
 	go s.writer()
 	return s, nil
+}
+
+// recover opens the journal and rebuilds the acknowledged state:
+// checkpoint restore plus journal-tail replay through the exact episode
+// batching the writer uses, so a recovered system converges to the same
+// state as one that never crashed.
+func (s *Server) recover() error {
+	log, err := wal.Open(s.cfg.DataDir, s.cfg.FS)
+	if err != nil {
+		return err
+	}
+	s.log = log
+	if ck, ok := s.eng.(Checkpointer); ok {
+		s.ckpt = ck
+		seq, state, found, err := log.LatestCheckpoint()
+		if err != nil {
+			return err
+		}
+		if found {
+			if err := ck.Restore(bytes.NewReader(state)); err != nil {
+				return fmt.Errorf("server: restore checkpoint (seq %d): %w", seq, err)
+			}
+			s.w.ckptSeq = seq
+			s.w.applied = seq
+			s.recovery.CheckpointSeq = seq
+		}
+	}
+	s.w.replaying = true
+	n, err := log.Replay(s.w.ckptSeq, func(rec wal.Record) error {
+		var req FeedbackRequest
+		if err := json.Unmarshal(rec.Data, &req); err != nil {
+			return fmt.Errorf("server: journal record %d: %w", rec.Seq, err)
+		}
+		it := feedbackItem{seq: rec.Seq, positive: req.Approve}
+		for _, lj := range req.Links {
+			l, err := s.resolveLink(lj)
+			if err != nil {
+				return fmt.Errorf("server: journal record %d: %w (were the datasets loaded identically?)", rec.Seq, err)
+			}
+			it.links = append(it.links, l)
+		}
+		s.applyItem(it)
+		return nil
+	})
+	s.w.replaying = false
+	if err != nil {
+		return err
+	}
+	s.recovery.Replayed = n
+	return nil
 }
 
 func (s *Server) registerMetrics() {
@@ -186,12 +343,18 @@ func (s *Server) registerMetrics() {
 	m.queryTimeouts = s.reg.Counter("alexd_query_timeouts_total", "Queries abandoned on deadline.")
 	m.queryRows = s.reg.Counter("alexd_query_rows_total", "Answer rows returned across all queries.")
 	m.queryDuration = s.reg.Histogram("alexd_query_duration_seconds", "Query evaluation latency.", nil)
+	m.degradedQueries = s.reg.Counter("alexd_degraded_queries_total", "Queries that returned partial results because a source was unavailable.")
 	m.feedbackQueued = s.reg.Counter("alexd_feedback_total", "Answer-level feedback items accepted into the queue.")
 	m.feedbackThrottled = s.reg.Counter("alexd_feedback_throttled_total", "Feedback items refused with 429 (queue full).")
 	m.feedbackLinks = s.reg.Counter("alexd_feedback_links_total", "Link-level feedback items applied by the writer.")
 	m.episodes = s.reg.Counter("alexd_episodes_total", "Feedback episodes completed.")
 	m.episodeDuration = s.reg.Histogram("alexd_episode_duration_seconds", "Episode duration from first feedback to policy improvement.", nil)
 	m.panics = s.reg.Counter("alexd_http_panics_total", "Handler panics recovered.")
+	m.journalFsync = s.reg.Histogram("alexd_journal_fsync_seconds", "Feedback journal append+fsync latency.", nil)
+	m.journalErrors = s.reg.Counter("alexd_journal_errors_total", "Journal appends that failed (feedback refused with 503).")
+	m.checkpoints = s.reg.Counter("alexd_checkpoints_total", "State checkpoints written.")
+	m.checkpointErrors = s.reg.Counter("alexd_checkpoint_errors_total", "State checkpoints that failed.")
+	m.checkpointDuration = s.reg.Histogram("alexd_checkpoint_seconds", "Checkpoint save+write duration.", nil)
 	s.reg.GaugeFunc("alexd_feedback_queue_depth", "Answer-level feedback items waiting for the writer.", func() float64 {
 		return float64(len(s.queue))
 	})
@@ -204,12 +367,26 @@ func (s *Server) registerMetrics() {
 	s.reg.GaugeFunc("alexd_candidate_links", "Candidate links in the published snapshot.", func() float64 {
 		return float64(s.Snapshot().Links.Len())
 	})
+	s.reg.GaugeFunc("alexd_replayed_records", "Journal records replayed by the last startup recovery.", func() float64 {
+		return float64(s.Recovery().Replayed)
+	})
+	for i, st := range s.base.SourceStatuses() {
+		i := i
+		s.reg.LabeledGaugeFunc("alexd_source_breaker_state",
+			fmt.Sprintf("source=%q", st.Name),
+			"Per-source circuit state: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(s.base.SourceStatuses()[i].Breaker) })
+	}
 }
 
 // Snapshot returns the currently published snapshot. The result is
 // immutable; it remains valid (and consistent) for as long as the
 // caller holds it, even across later publications.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Recovery reports what startup recovery did (zero stats when no data
+// directory is configured or nothing was recovered).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
 
 // Handler returns the root HTTP handler (all routes, middleware
 // applied).
@@ -220,7 +397,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *Registry { return s.reg }
 
 // publish builds a fresh immutable snapshot from the engine's current
-// candidate set. Writer-goroutine only (plus once from New, before the
+// candidate set. Writer-goroutine only (plus from New, before the
 // writer starts).
 func (s *Server) publish(version uint64) {
 	cands := s.eng.Candidates()
@@ -233,59 +410,104 @@ func (s *Server) publish(version uint64) {
 	})
 }
 
+// applyItem feeds one answer-level item into the engine, bracketing
+// episodes exactly as the paper's loop does. It is the shared apply
+// path of live writing and journal replay: identical batching is what
+// makes a recovered run converge to the uninterrupted run's state.
+func (s *Server) applyItem(it feedbackItem) {
+	if s.w.pending == 0 {
+		s.eng.BeginEpisode()
+		s.w.epStart = time.Now()
+	}
+	for _, l := range it.links {
+		s.eng.Feedback(l, it.positive)
+		s.metrics.feedbackLinks.Inc()
+		s.w.pending++
+	}
+	if it.seq > s.w.applied {
+		s.w.applied = it.seq
+	}
+	if s.w.pending >= s.cfg.EpisodeSize {
+		s.finishEpisode()
+	}
+}
+
+// finishEpisode closes the open episode (if any), publishes a fresh
+// snapshot, and checkpoints when the checkpoint interval elapsed.
+func (s *Server) finishEpisode() {
+	if s.w.pending == 0 {
+		return
+	}
+	s.eng.FinishEpisode()
+	s.metrics.episodes.Inc()
+	s.metrics.episodeDuration.Observe(time.Since(s.w.epStart).Seconds())
+	s.w.pending = 0
+	s.w.sinceCkpt++
+	if !s.w.replaying {
+		s.w.version++
+		s.publish(s.w.version)
+	}
+	if s.w.sinceCkpt >= s.cfg.CheckpointEvery {
+		s.checkpoint()
+	}
+}
+
+// checkpoint saves full engine state through the log. Failures are
+// counted and tolerated: the journal still covers everything since the
+// last good checkpoint. Writer-goroutine only (or New during replay).
+func (s *Server) checkpoint() {
+	if s.log == nil || s.ckpt == nil {
+		return
+	}
+	if s.w.applied == s.w.ckptSeq {
+		return // nothing new since the last checkpoint
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := s.ckpt.Save(&buf); err != nil {
+		s.metrics.checkpointErrors.Inc()
+		return
+	}
+	s.logMu.Lock()
+	err := s.log.Checkpoint(s.w.applied, buf.Bytes())
+	s.logMu.Unlock()
+	if err != nil {
+		s.metrics.checkpointErrors.Inc()
+		return
+	}
+	s.metrics.checkpoints.Inc()
+	s.metrics.checkpointDuration.Observe(time.Since(start).Seconds())
+	s.w.ckptSeq = s.w.applied
+	s.w.sinceCkpt = 0
+}
+
 // writer is the single goroutine that owns the engine: it applies
-// queued feedback, brackets it into episodes, and publishes snapshots.
+// queued feedback, brackets it into episodes, publishes snapshots, and
+// checkpoints.
 func (s *Server) writer() {
 	defer close(s.done)
-	var (
-		pending int       // link-level items in the open episode
-		epStart time.Time // when the open episode began
-		version = s.Snapshot().Version
-	)
 	flush := time.NewTicker(s.cfg.FlushInterval)
 	defer flush.Stop()
-
-	finish := func() {
-		if pending == 0 {
-			return
-		}
-		s.eng.FinishEpisode()
-		s.metrics.episodes.Inc()
-		s.metrics.episodeDuration.Observe(time.Since(epStart).Seconds())
-		pending = 0
-		version++
-		s.publish(version)
-	}
-	apply := func(it feedbackItem) {
-		if pending == 0 {
-			s.eng.BeginEpisode()
-			epStart = time.Now()
-		}
-		for _, l := range it.links {
-			s.eng.Feedback(l, it.positive)
-			s.metrics.feedbackLinks.Inc()
-			pending++
-		}
-		if pending >= s.cfg.EpisodeSize {
-			finish()
-		}
-	}
 
 	for {
 		select {
 		case it := <-s.queue:
-			apply(it)
+			s.applyItem(it)
 		case <-flush.C:
-			finish()
+			s.finishEpisode()
+		case <-s.die:
+			return // simulated crash: no drain, no checkpoint
 		case <-s.stop:
 			// Drain everything already acknowledged to clients, then
-			// finish the open episode so no accepted feedback is lost.
+			// finish the open episode so no accepted feedback is lost,
+			// and leave a final checkpoint so restart needs no replay.
 			for {
 				select {
 				case it := <-s.queue:
-					apply(it)
+					s.applyItem(it)
 				default:
-					finish()
+					s.finishEpisode()
+					s.checkpoint()
 					return
 				}
 			}
@@ -293,9 +515,42 @@ func (s *Server) writer() {
 	}
 }
 
+// accept makes an answer-level feedback item durable (journal append +
+// fsync) and hands it to the writer, without blocking. The returned
+// status is http.StatusAccepted on success, 429 when the queue is full,
+// or 503 when the journal cannot be written (the item was NOT accepted
+// and the client must retry).
+func (s *Server) accept(it feedbackItem, wirePayload []byte) (int, error) {
+	if s.log == nil {
+		if s.enqueue(it) {
+			return http.StatusAccepted, nil
+		}
+		return http.StatusTooManyRequests, fmt.Errorf("feedback queue full, retry later")
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if len(s.queue) == cap(s.queue) {
+		s.metrics.feedbackThrottled.Inc()
+		return http.StatusTooManyRequests, fmt.Errorf("feedback queue full, retry later")
+	}
+	start := time.Now()
+	seq, err := s.log.Append(wirePayload)
+	s.metrics.journalFsync.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.metrics.journalErrors.Inc()
+		return http.StatusServiceUnavailable, fmt.Errorf("feedback not durable: %v", err)
+	}
+	it.seq = seq
+	// Guaranteed to fit: producers hold logMu and only the writer takes
+	// items out, so the capacity check above still stands.
+	s.queue <- it
+	s.metrics.feedbackQueued.Inc()
+	return http.StatusAccepted, nil
+}
+
 // enqueue offers an answer-level feedback item to the writer without
-// blocking. ok=false means the queue is full and the item was NOT
-// accepted (the HTTP layer turns that into 429 + Retry-After).
+// blocking or journaling. ok=false means the queue is full and the item
+// was NOT accepted (the HTTP layer turns that into 429 + Retry-After).
 func (s *Server) enqueue(it feedbackItem) bool {
 	select {
 	case s.queue <- it:
@@ -308,16 +563,32 @@ func (s *Server) enqueue(it feedbackItem) bool {
 }
 
 // Close shuts the writer down gracefully: queued feedback is drained,
-// the open episode finished, and a final snapshot published. It returns
-// an error if the writer does not drain within DrainTimeout. Close is
-// idempotent; after it returns, feedback is no longer processed (the
-// HTTP handlers keep serving reads from the last snapshot).
+// the open episode finished, a final snapshot published and (with a
+// data directory) a final checkpoint written, so the next start needs
+// no journal replay. It returns an error if the writer does not drain
+// within DrainTimeout. Close is idempotent; after it returns, feedback
+// is no longer processed (the HTTP handlers keep serving reads from the
+// last snapshot).
 func (s *Server) Close() error {
 	s.closing.Do(func() { close(s.stop) })
 	select {
 	case <-s.done:
-		return nil
 	case <-time.After(s.cfg.DrainTimeout):
 		return fmt.Errorf("server: writer did not drain within %s", s.cfg.DrainTimeout)
 	}
+	if s.log != nil {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+		return s.log.Close()
+	}
+	return nil
+}
+
+// abort kills the writer without draining, finishing the episode, or
+// checkpointing — the crash-simulation entry point of the chaos tests.
+// Acknowledged items that were still queued stay journaled on disk;
+// recovery must resurrect them.
+func (s *Server) abort() {
+	s.aborting.Do(func() { close(s.die) })
+	<-s.done
 }
