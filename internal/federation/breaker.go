@@ -59,13 +59,14 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // Breaker is a closed → open → half-open → closed circuit breaker. It
 // is safe for concurrent use; the clock is injectable for tests.
 type Breaker struct {
-	mu    sync.Mutex
-	cfg   BreakerConfig
-	now   func() time.Time
-	state BreakerState
-	fails int       // consecutive failures while closed
-	succ  int       // consecutive successes while half-open
-	until time.Time // when an open circuit starts probing
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	now     func() time.Time
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	succ    int       // consecutive successes while half-open
+	until   time.Time // when an open circuit starts probing
+	probing bool      // a half-open probe is in flight
 }
 
 // NewBreaker returns a closed breaker.
@@ -74,12 +75,22 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 }
 
 // Allow reports whether a request may proceed, transitioning open →
-// half-open when the cooldown has elapsed.
+// half-open when the cooldown has elapsed. While half-open, only a
+// single probe may be in flight: the first caller takes the probe
+// token and the rest are rejected (their queries degrade) until that
+// probe's outcome is recorded, so N concurrent queries never hammer a
+// barely-recovered source at once.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case BreakerClosed, BreakerHalfOpen:
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
 		return true
 	default: // open
 		if b.now().Before(b.until) {
@@ -87,6 +98,7 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = BreakerHalfOpen
 		b.succ = 0
+		b.probing = true
 		return true
 	}
 }
@@ -107,6 +119,7 @@ func (b *Breaker) Record(ok bool) {
 			b.trip()
 		}
 	case BreakerHalfOpen:
+		b.probing = false // the in-flight probe resolved; release the token
 		if !ok {
 			b.trip()
 			return
@@ -125,6 +138,7 @@ func (b *Breaker) trip() {
 	b.until = b.now().Add(b.cfg.Cooldown)
 	b.fails = 0
 	b.succ = 0
+	b.probing = false
 }
 
 // State returns the current circuit state (open circuits past their

@@ -65,6 +65,50 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestHalfOpenSingleProbe: while half-open, only one probe may be in
+// flight — concurrent callers are rejected until its outcome is
+// recorded, so a barely-recovered source is never hammered.
+func TestHalfOpenSingleProbe(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second, Successes: 2})
+	b.now = func() time.Time { return clock }
+
+	b.Record(false) // trip
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the first probe")
+	}
+	if b.Allow() || b.Allow() {
+		t.Fatal("half-open breaker allowed concurrent probes")
+	}
+	// The probe resolving releases the token for the next single probe.
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one success of two closed the breaker early")
+	}
+	if !b.Allow() {
+		t.Fatal("resolved probe did not release the half-open token")
+	}
+	if b.Allow() {
+		t.Fatal("second half-open probe admitted a concurrent caller")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("enough probe successes did not close the breaker")
+	}
+
+	// A failed probe reopens and clears the token: after the next
+	// cooldown exactly one new probe gets through again.
+	b.Record(false)
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after a failed recovery cycle")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed concurrent probes")
+	}
+}
+
 // flakyWorld builds a two-source federation where ds2 is reachable only
 // while *up is non-zero. Each dataset contributes distinct rows to the
 // test query so degradation is observable in the row count.

@@ -6,9 +6,15 @@
 // responses (e.g. the 503 a journal outage produces) — are retried with
 // jittered exponential backoff, honoring the server's Retry-After
 // header, up to RetryPolicy.MaxAttempts and never past the caller's
-// context deadline. Safe to retry: /query and /links are reads, and
-// /feedback is only retried on outcomes where the server did NOT accept
-// the item (429/503 are explicit not-accepted responses).
+// context deadline. /query and /links are reads, so their retries are
+// always safe. /feedback delivery is at-least-once: 429 and 503 are
+// explicit not-accepted responses and retrying them is exact, but a
+// transport error is ambiguous — it can strike after the server
+// journaled and acked the item with the response lost in flight, in
+// which case the retry applies the same verdict twice. ALEX feedback
+// tolerates duplicates (a repeated verdict reinforces, never corrupts);
+// callers that need at-most-once delivery instead set
+// RetryPolicy.MaxAttempts to 1 and handle the ambiguity themselves.
 package server
 
 import (
@@ -234,7 +240,8 @@ func (c *Client) QueryContext(ctx context.Context, query string) (*QueryResponse
 
 // Feedback reports an answer-level verdict on the links of a row.
 // Returns ErrQueueFull if the server is still backpressuring after the
-// policy's retries.
+// policy's retries. Delivery is at-least-once: a retry after a lost
+// response may apply the verdict twice (see the package comment).
 func (c *Client) Feedback(rowLinks []LinkJSON, approve bool) error {
 	return c.FeedbackContext(context.Background(), rowLinks, approve)
 }

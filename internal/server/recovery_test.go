@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"alex/internal/core"
 	"alex/internal/faultfs"
 	"alex/internal/federation"
 	"alex/internal/links"
@@ -162,6 +165,202 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 				t.Fatalf("recovered episodes = %d, uninterrupted run = %d", got, wantEpisodes)
 			}
 		})
+	}
+}
+
+// gatedEngine wraps a core.System, blocking each FinishEpisode until
+// the gate yields a token (closing the gate releases it for good), so
+// tests can hold the writer mid-pipeline while producers keep
+// journaling and acking items. The embedded System's Save/Restore keep
+// it a Checkpointer.
+type gatedEngine struct {
+	*core.System
+	gate chan struct{}
+}
+
+func (g *gatedEngine) FinishEpisode() core.EpisodeStats {
+	<-g.gate
+	return g.System.FinishEpisode()
+}
+
+// copyDir snapshots the flat data directory into a fresh temp dir: the
+// exact on-disk state a power cut at this instant would leave behind.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestCheckpointSparesQueuedAckedRecords: a checkpoint reached while a
+// later item is already journaled, 202-acked and queued must NOT reset
+// the journal — that record would survive only in the in-memory queue,
+// and a crash before the next checkpoint would lose acknowledged
+// feedback. The writer is held inside FinishEpisode to pin the exact
+// interleaving.
+func TestCheckpointSparesQueuedAckedRecords(t *testing.T) {
+	dir := t.TempDir()
+	dict, sources, sys, _ := tinyWorld(t)
+	eng := &gatedEngine{System: sys, gate: make(chan struct{})}
+	cfg := durableCfg(dir)
+	cfg.EpisodeSize = 1 // every item closes an episode
+	cfg.CheckpointEvery = 1
+	s, err := New(eng, dict, sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	script := feedbackScript(2)
+	// Item 1: the writer applies it and blocks inside FinishEpisode,
+	// before the episode's checkpoint.
+	if code := postFeedback(t, ts.URL, script[0]); code != http.StatusAccepted {
+		t.Fatalf("feedback 0: status %d", code)
+	}
+	// Item 2: journaled, fsynced, acked and queued while the writer is
+	// held — exactly the record a careless checkpoint would strand.
+	if code := postFeedback(t, ts.URL, script[1]); code != http.StatusAccepted {
+		t.Fatalf("feedback 1: status %d", code)
+	}
+	// Release episode 1: the writer reaches its checkpoint with item 2
+	// still queued, then dequeues item 2 and blocks in episode 2. The
+	// unbuffered send synchronizes with the writer sitting in
+	// FinishEpisode, so the single token can only release episode 1.
+	eng.gate <- struct{}{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) > 0 { // the dequeue happens after the checkpoint decision
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up item 2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cut the power here: recover a fresh engine from a copy of the
+	// data directory and require BOTH acked items.
+	snap := copyDir(t, dir)
+	dict2, sources2, sys2, _ := tinyWorld(t)
+	cfg2 := cfg
+	cfg2.DataDir = snap
+	cfg2.FS = nil
+	rec, err := New(sys2, dict2, sources2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Recovery()
+	if int(st.CheckpointSeq)+st.Replayed < len(script) {
+		t.Fatalf("recovery covered %d+%d records, %d were acked (checkpoint stranded a queued item)",
+			st.CheckpointSeq, st.Replayed, len(script))
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: the same two items on an identically configured
+	// journal-less twin.
+	dict3, sources3, sys3, _ := tinyWorld(t)
+	cfg3 := cfg
+	cfg3.DataDir = ""
+	tw, err := New(sys3, dict3, sources3, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := httptest.NewServer(tw.Handler())
+	for i, req := range script {
+		if code := postFeedback(t, tts.URL, req); code != http.StatusAccepted {
+			t.Fatalf("twin feedback %d: status %d", i, code)
+		}
+	}
+	tts.Close()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := linkIRIs(dict3, tw.Snapshot().Links)
+	if got := linkIRIs(dict2, rec.Snapshot().Links); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered links diverge (acked item lost to a checkpoint):\n got %v\nwant %v", got, want)
+	}
+	if got, wantEp := sys2.Episode(), sys3.Episode(); got != wantEp {
+		t.Fatalf("recovered episodes = %d, uninterrupted run = %d", got, wantEp)
+	}
+
+	close(eng.gate) // release the held writer for a clean shutdown
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDuringRecoveryLosesNothing: recovery itself must be
+// crash-safe. Replaying crosses several checkpoint intervals; a
+// checkpoint taken mid-replay would reset the journal while the
+// unreplayed tail exists only in memory, so a second crash right after
+// recovery would lose acked records. kill=7 ends replay mid-episode,
+// keeping the tail exposed.
+func TestCrashDuringRecoveryLosesNothing(t *testing.T) {
+	const kill = 7
+	dir := t.TempDir()
+	script := feedbackScript(kill)
+	dict, sources, sys, _ := tinyWorld(t)
+	// The live run never checkpoints, leaving the whole 7-item journal
+	// as the tail; recovering it with CheckpointEvery=2 forces multiple
+	// checkpoint-interval crossings during replay.
+	liveCfg := durableCfg(dir)
+	liveCfg.CheckpointEvery = 100
+	s, err := New(sys, dict, sources, liveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	for i, req := range script {
+		if code := postFeedback(t, ts.URL, req); code != http.StatusAccepted {
+			t.Fatalf("feedback %d: status %d", i, code)
+		}
+	}
+	ts.Close()
+	s.abort()
+	s.Close() //nolint:errcheck // releases the journal fd
+
+	// First recovery replays several episodes, then crashes again before
+	// serving anything: no drain, no graceful checkpoint.
+	dict1, sources1, sys1, _ := tinyWorld(t)
+	rec1, err := New(sys1, dict1, sources1, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1.abort()
+	rec1.Close() //nolint:errcheck // releases the journal fd
+
+	// The second recovery must still cover every acked item.
+	dict2, sources2, sys2, _ := tinyWorld(t)
+	rec2, err := New(sys2, dict2, sources2, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec2.Recovery()
+	if int(st.CheckpointSeq)+st.Replayed < kill {
+		t.Fatalf("second recovery covered %d+%d records, %d were acked (mid-replay checkpoint lost the tail)",
+			st.CheckpointSeq, st.Replayed, kill)
+	}
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantLinks, wantEpisodes := runTwin(t, script)
+	if got := linkIRIs(dict2, rec2.Snapshot().Links); fmt.Sprint(got) != fmt.Sprint(wantLinks) {
+		t.Fatalf("doubly-recovered links diverge:\n got %v\nwant %v", got, wantLinks)
+	}
+	if got := sys2.Episode(); got != wantEpisodes {
+		t.Fatalf("doubly-recovered episodes = %d, uninterrupted run = %d", got, wantEpisodes)
 	}
 }
 

@@ -23,7 +23,9 @@
 // durability promise — an acknowledged item survives any crash. The
 // writer checkpoints full ALEX state (candidate links, policy returns,
 // blacklist, rollback log) every CheckpointEvery episodes and again on
-// graceful shutdown; restart loads the newest valid checkpoint and
+// graceful shutdown — but only once every journaled record has been
+// applied, since a checkpoint resets the journal and must never strand
+// a queued, already-acked item; restart loads the newest valid checkpoint and
 // replays only the journal tail, idempotently (a clean shutdown needs
 // no replay at all). Torn or corrupt journal tails are truncated on
 // open. When the journal cannot be written, /feedback returns 503
@@ -333,6 +335,14 @@ func (s *Server) recover() error {
 		return err
 	}
 	s.recovery.Replayed = n
+	// Checkpoints are suppressed while replaying (the unreplayed tail is
+	// memory-only there); take the deferred one now if replay ended on an
+	// episode boundary. A mid-episode tail keeps the journal instead —
+	// checkpointing a half-open episode would break the episode-batching
+	// equivalence with an uninterrupted run.
+	if s.w.pending == 0 && s.w.sinceCkpt >= s.cfg.CheckpointEvery {
+		s.checkpoint()
+	}
 	return nil
 }
 
@@ -452,11 +462,19 @@ func (s *Server) finishEpisode() {
 	}
 }
 
-// checkpoint saves full engine state through the log. Failures are
-// counted and tolerated: the journal still covers everything since the
-// last good checkpoint. Writer-goroutine only (or New during replay).
+// checkpoint saves full engine state through the log. A checkpoint
+// resets the journal, so it must only run when the journal holds
+// nothing beyond s.w.applied: it is suppressed during startup replay
+// (the unreplayed tail exists only in memory, and a crash mid-recovery
+// would lose it) and skipped while acked-but-unapplied feedback is
+// still queued (checked under logMu, so no producer can journal a new
+// record between the check and the reset). A skipped checkpoint retries
+// at the next episode boundary — sinceCkpt stays past the threshold.
+// Failures are counted and tolerated: the journal still covers
+// everything since the last good checkpoint. Writer-goroutine only
+// (or New, strictly before the writer starts).
 func (s *Server) checkpoint() {
-	if s.log == nil || s.ckpt == nil {
+	if s.log == nil || s.ckpt == nil || s.w.replaying {
 		return
 	}
 	if s.w.applied == s.w.ckptSeq {
@@ -469,6 +487,14 @@ func (s *Server) checkpoint() {
 		return
 	}
 	s.logMu.Lock()
+	if len(s.queue) > 0 {
+		// Producers journal and enqueue under logMu, and only the writer
+		// (us) dequeues: a non-empty queue here means journaled, 202-acked
+		// records with seq > s.w.applied that would survive the journal
+		// reset only in memory. Keep the journal; retry next episode.
+		s.logMu.Unlock()
+		return
+	}
 	err := s.log.Checkpoint(s.w.applied, buf.Bytes())
 	s.logMu.Unlock()
 	if err != nil {

@@ -26,9 +26,11 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -141,7 +143,13 @@ func (l *Log) scan() error {
 	}
 	rc, err := l.fs.Open(l.journalPath())
 	if err != nil {
-		return nil // no journal yet
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // no journal yet: an empty log
+		}
+		// Any other error (permissions, transient I/O) must fail startup
+		// loudly: treating it as "no journal" would silently discard
+		// acked records and reissue their sequence numbers.
+		return fmt.Errorf("wal: open journal: %w", err)
 	}
 	data, err := io.ReadAll(rc)
 	rc.Close()

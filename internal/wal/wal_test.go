@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -268,6 +269,42 @@ func TestSeqMonotonicAcrossCheckpointOnlyRestart(t *testing.T) {
 		t.Fatalf("last seq after restart = %d, want 3", l2.LastSeq())
 	}
 	appendN(t, l2, 4, 4)
+}
+
+// failOpenFS fails every Open with a non-NotExist error, standing in
+// for a permission or transient I/O failure on an existing journal.
+type failOpenFS struct {
+	FS
+	err error
+}
+
+func (f failOpenFS) Open(name string) (io.ReadCloser, error) { return nil, f.err }
+
+// TestOpenErrorFailsLoudly: an unreadable existing journal must abort
+// Open. Swallowing the error as "no journal yet" would silently discard
+// acked records and reissue their sequence numbers over the stale file.
+func TestOpenErrorFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 3)
+	l.Close()
+
+	_, err = Open(dir, failOpenFS{FS: OS{}, err: fmt.Errorf("injected: permission denied")})
+	if err == nil {
+		t.Fatal("Open ignored a failing journal read over durable records")
+	}
+	// A genuinely missing journal still opens as an empty log.
+	l2, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("fresh dir: %v", err)
+	}
+	defer l2.Close()
+	if recs := replayAll(t, l2, 0); len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
 }
 
 func TestEmptyAndLargePayloads(t *testing.T) {
