@@ -1,9 +1,9 @@
 # Developer entry points. `make verify` is the full pre-commit gate:
-# tier-1 (build + test) plus vet and the race detector.
+# tier-1 (build + test) plus vet, alexlint, and the race detector.
 
 GO ?= go
 
-.PHONY: all build test race vet verify fmt bench clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench clean
 
 all: verify
 
@@ -19,14 +19,25 @@ race:
 vet:
 	$(GO) vet ./...
 
-verify: build vet test race
+# lint builds and runs alexlint, the ALEX invariant analyzer suite
+# (internal/analysis). Also usable as `go vet -vettool=bin/alexlint`.
+lint:
+	$(GO) build -o bin/alexlint ./cmd/alexlint
+	./bin/alexlint ./...
+
+verify: build vet lint test race
 	@echo "verify: OK"
 
 fmt:
 	gofmt -l -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -37,6 +37,7 @@ func main() {
 	profile := flag.String("profile", "opencyc-nytimes", "synthetic profile for coordinator mode")
 	scale := flag.Float64("scale", 0.5, "profile scale factor")
 	episodes := flag.Int("episodes", 15, "maximum episodes")
+	seed := flag.Int64("seed", 0, "exploration and oracle seed (0 = profile default)")
 	flag.Parse()
 
 	switch {
@@ -50,13 +51,13 @@ func main() {
 			log.Fatalf("alexcluster: %v", err)
 		}
 	case *workers != "":
-		coordinate(strings.Split(*workers, ","), *profile, *scale, *episodes)
+		coordinate(strings.Split(*workers, ","), *profile, *scale, *episodes, *seed)
 	default:
 		flag.Usage()
 	}
 }
 
-func coordinate(addrs []string, profileName string, scale float64, episodes int) {
+func coordinate(addrs []string, profileName string, scale float64, episodes int, seed int64) {
 	prof, ok := synth.ProfileByName(profileName)
 	if !ok {
 		log.Fatalf("alexcluster: unknown profile %q", profileName)
@@ -73,6 +74,9 @@ func coordinate(addrs []string, profileName string, scale float64, episodes int)
 	cfg.EpisodeSize = prof.EpisodeSize
 	cfg.MaxEpisodes = episodes
 	cfg.Seed = prof.Seed
+	if seed != 0 {
+		cfg.Seed = seed
+	}
 
 	coord, err := cluster.Dial(addrs)
 	if err != nil {

@@ -1,0 +1,179 @@
+// Command alexlint runs ALEX's invariant analyzers (see
+// internal/analysis/suite) over module packages.
+//
+// Standalone:
+//
+//	alexlint [packages]     # defaults to ./...
+//	alexlint -list          # describe the analyzers
+//
+// As a go vet tool:
+//
+//	go vet -vettool=$(pwd)/bin/alexlint ./...
+//
+// In vettool mode cmd/go drives the binary with the standard protocol:
+// `-V=full` prints a cacheable version line, `-flags` declares the
+// (empty) analyzer flag set, and a lone *.cfg argument selects
+// unitchecker mode, analyzing the single package the config describes.
+//
+// Exit status is 0 when the tree is clean, 2 when findings were
+// reported, and 1 on operational errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alex/internal/analysis"
+	"alex/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("alexlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: alexlint [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the ALEX invariant analyzers; packages default to ./...\n")
+		fs.PrintDefaults()
+	}
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	version := fs.String("V", "", "if 'full', print version and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *version == "full":
+		printVersion()
+		return 0
+	case *version != "":
+		fmt.Println("alexlint distributed with the alex module")
+		return 0
+	case *printFlags:
+		// The suite takes no analyzer flags.
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%s: %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0])
+	}
+	return runStandalone(fs.Args())
+}
+
+// printVersion emits the `-V=full` line cmd/go hashes into its vet
+// cache key: "<name> version <id>". Hashing the executable itself makes
+// the cache invalidate whenever the analyzers change.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// runStandalone loads packages with the go tool and analyzes each one.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alexlint:", err)
+		return 1
+	}
+	cwd, _ := os.Getwd()
+	found := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, suite.Analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alexlint:", err)
+			return 1
+		}
+		for _, f := range findings {
+			found++
+			fmt.Printf("%s:%d:%d: %s (%s)\n",
+				relpath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runVet analyzes the one package described by a cmd/go vet config.
+func runVet(cfgPath string) int {
+	cfg, err := analysis.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alexlint:", err)
+		return 1
+	}
+	// cmd/go expects the facts file to exist even though the suite
+	// exchanges none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "alexlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass, run only to produce facts: nothing to do.
+		return 0
+	}
+	pkg, err := analysis.LoadVetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "alexlint:", err)
+		return 1
+	}
+	findings, err := analysis.Run(pkg, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alexlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		// go vet surfaces the tool's stderr as the diagnostic stream.
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+			f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func relpath(base, path string) string {
+	if base == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -18,6 +18,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "entity-count scale factor")
 	episodes := flag.Int("episodes", 20, "maximum feedback episodes")
 	errRate := flag.Float64("err", 0, "incorrect feedback rate")
+	seed := flag.Int64("seed", 0, "exploration and oracle seed (0 = profile default)")
 	flag.Parse()
 
 	prof, ok := alex.ProfileByName(*profileName)
@@ -37,8 +38,11 @@ func main() {
 	cfg.MaxEpisodes = *episodes
 	cfg.Partitions = prof.Partitions
 	cfg.Seed = prof.Seed
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
 	sys := alex.NewSystem(ds.G1, ds.G2, ds.Entities1, ds.Entities2, alex.LinksOf(scored), cfg)
-	oracle := alex.NewOracle(ds.GroundTruth, *errRate, rand.New(rand.NewSource(7)))
+	oracle := alex.NewOracle(ds.GroundTruth, *errRate, rand.New(rand.NewSource(cfg.Seed)))
 
 	fmt.Printf("%-8s %-10s %-10s %-10s %-8s %-8s\n", "episode", "precision", "recall", "f-measure", "|C|", "neg-fb%")
 	m := alex.Evaluate(sys.Candidates(), ds.GroundTruth)

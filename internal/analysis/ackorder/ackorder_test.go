@@ -1,0 +1,15 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/ackorder"
+	"alex/internal/analysis/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, ackorder.Analyzer,
+		"testdata/src/a", // 202 before/without the journal append
+		"testdata/src/b", // append dominates every ack path
+	)
+}

@@ -1,0 +1,47 @@
+// Fixture a: acks that break the fsync-before-ack contract, against the
+// real write-ahead log types. The first shape is PR 2's actual bug: the
+// 202 moved ahead of the journal append.
+package a
+
+import (
+	"net/http"
+
+	"alex/internal/wal"
+)
+
+type server struct {
+	log *wal.Log
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+// ackThenAppend acknowledges first and journals after: a crash between
+// the two breaks the durability promise the 202 just made.
+func (s *server) ackThenAppend(w http.ResponseWriter, payload []byte) {
+	writeJSON(w, http.StatusAccepted, nil) // want `202 Accepted written without a dominating journal append`
+	s.log.Append(payload)
+}
+
+// ackWithoutAppend promises durability it never attempted.
+func (s *server) ackWithoutAppend(w http.ResponseWriter) {
+	writeJSON(w, http.StatusAccepted, nil) // want `202 Accepted written without a dominating journal append`
+}
+
+// conditionalAppend journals on only one path but acks on all of them.
+func (s *server) conditionalAppend(w http.ResponseWriter, payload []byte, durable bool) {
+	if durable {
+		if _, err := s.log.Append(payload); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, nil)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, nil) // want `202 Accepted written without a dominating journal append`
+}
+
+// rawAck uses WriteHeader directly; the helper is not the contract.
+func (s *server) rawAck(w http.ResponseWriter) {
+	w.WriteHeader(202) // want `202 Accepted written without a dominating journal append`
+}

@@ -1,0 +1,53 @@
+// Fixture b: the compliant order — append (and fsync) to the journal on
+// every path before the 202 leaves the handler, mirroring
+// server.handleFeedback -> Server.accept -> wal.Append.
+package b
+
+import (
+	"net/http"
+
+	"alex/internal/wal"
+)
+
+type server struct {
+	log *wal.Log
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+// accept is the durable gate: the journal append happens inside, before
+// any caller can ack.
+func (s *server) accept(payload []byte) (int, error) {
+	if _, err := s.log.Append(payload); err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	return http.StatusAccepted, nil
+}
+
+// handleFeedback acks only after accept returned: the append dominates
+// the 202 through the helper.
+func (s *server) handleFeedback(w http.ResponseWriter, payload []byte) {
+	status, err := s.accept(payload)
+	if err != nil {
+		writeJSON(w, status, nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// directAppend journals inline before the ack.
+func (s *server) directAppend(w http.ResponseWriter, payload []byte) {
+	if _, err := s.log.Append(payload); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// readHandler never promises durability: 200 OK needs no journal.
+func (s *server) readHandler(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, nil)
+}

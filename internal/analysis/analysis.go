@@ -1,0 +1,146 @@
+// Package analysis is alexlint's analyzer framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface that the ALEX invariant checkers need.
+//
+// The repo deliberately has no module dependencies, so instead of the
+// x/tools driver stack this package provides the same three pieces in
+// ~stdlib-only form:
+//
+//   - Analyzer / Pass / Diagnostic — the contract an invariant checker
+//     implements (analysis.go, this file);
+//   - a go/list-based package loader that parses and typechecks module
+//     packages offline using the build cache's export data (load.go);
+//   - an analysistest-style fixture harness driven by `// want` comments
+//     (internal/analysis/analysistest).
+//
+// The five shipped analyzers (snapmut, ackorder, syncerr, globalrand,
+// gotrack) encode the concurrency, durability and determinism contracts
+// that PR-2's review had to enforce by hand; cmd/alexlint is the
+// multichecker binary that runs them in `make verify` and CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Unlike x/tools analyzers it also
+// carries its package scope: ALEX's invariants are contracts of specific
+// subsystems (the WAL, the serving layer), not universal style rules.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc states the invariant the analyzer enforces, the exact shapes
+	// it flags, and the compliant idioms it accepts.
+	Doc string
+	// Match reports whether the analyzer applies to the package with the
+	// given import path. nil applies it everywhere. The driver consults
+	// Match; the test harness bypasses it so fixtures can live anywhere.
+	Match func(pkgPath string) bool
+	// Run analyzes one package, reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed and typechecked state through an
+// analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a diagnostic bound to its analyzer and resolved position,
+// as produced by Run.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer whose Match accepts pkg's import path and
+// returns the findings sorted by position. Analyzer errors (not
+// findings) abort the run.
+//
+// Test files are excluded: the analyzers enforce production contracts
+// (durability, shutdown, determinism), and holding test cleanup to them
+// would only produce noise. Standalone loads never include test files;
+// this matters when cmd/go drives alexlint over test-variant packages.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Pos, out[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// PathHasAny reports whether import path p is one of the listed packages
+// or inside one of them (prefix with a following "/"). It is the helper
+// analyzers build Match functions from.
+func PathHasAny(p string, pkgs ...string) bool {
+	for _, pkg := range pkgs {
+		if p == pkg || strings.HasPrefix(p, pkg+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer,
+		"testdata/src/a", // global-source draws, reseeding, rand/v2
+		"testdata/src/b", // seeded *rand.Rand flowing from the caller
+	)
+}

@@ -1,0 +1,33 @@
+// Fixture a: the global-source shapes that break figure reproduction.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// sampleGlobal draws from the shared process-wide source: one such call
+// anywhere re-interleaves every other consumer's stream.
+func sampleGlobal(n int) int {
+	return rand.Intn(n) // want `top-level math/rand.Intn`
+}
+
+// shuffleGlobal mutates the global stream too, even without reading a
+// value out.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `top-level math/rand.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// reseedGlobal is the classic "deterministic, honest" trap: seeding the
+// global source still races every other goroutine drawing from it.
+func reseedGlobal(seed int64) float64 {
+	rand.Seed(seed)       // want `top-level math/rand.Seed`
+	return rand.Float64() // want `top-level math/rand.Float64`
+}
+
+// v2Global cannot be seeded at all.
+func v2Global(n int) int {
+	return randv2.IntN(n) // want `top-level math/rand/v2.IntN`
+}

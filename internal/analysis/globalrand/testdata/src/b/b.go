@@ -1,0 +1,29 @@
+// Fixture b: the compliant pattern — an explicitly seeded *rand.Rand
+// owned by the caller, exactly how core.Config.Seed flows through the
+// system.
+package b
+
+import "math/rand"
+
+type sampler struct {
+	rng *rand.Rand
+}
+
+// newSampler owns its stream; runs with equal seeds are identical.
+func newSampler(seed int64) *sampler {
+	return &sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sampler) sample(n int) int {
+	return s.rng.Intn(n)
+}
+
+func (s *sampler) jitter() float64 {
+	return s.rng.Float64()
+}
+
+// zipf builds distribution state from the owned stream; the constructor
+// is allowed.
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.5, 1, 1000)
+}

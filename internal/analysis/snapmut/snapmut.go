@@ -1,0 +1,304 @@
+// Package snapmut enforces the serving layer's copy-on-write snapshot
+// contract: a value published through an atomic.Pointer is immutable
+// from the moment Store runs.
+//
+// The single-writer design (internal/server, DESIGN.md) lets query
+// handlers evaluate lock-free because the writer never mutates a
+// published *Snapshot — it builds a fresh value and swaps the pointer.
+// A field write to a published snapshot reintroduces exactly the data
+// race the architecture exists to prevent, invisible to the race
+// detector until a reader happens to overlap it. PR 2's review caught
+// one such write by hand; this analyzer catches them mechanically.
+//
+// For every named type T that the package publishes via an
+// atomic.Pointer[T] (struct field or variable), a write to a field of a
+// *T is a finding unless the pointee is provably this function's own
+// unpublished copy:
+//
+//   - allowed: writes through a local built from &T{...} or new(T),
+//     up to (lexically) the first atomic Store of that local;
+//   - allowed: writes to a plain value copy (v := *snap; v.F = ...);
+//   - flagged: writes through Load() results, parameters, receivers,
+//     struct fields, or a constructed local after it was Store'd.
+//
+// The analysis is intraprocedural: a constructor that returns the fresh
+// value for its caller to fill stays outside the contract (none exists
+// in the serving layer — publish builds and stores in one function).
+package snapmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alex/internal/analysis"
+)
+
+// Analyzer is the snapmut checker. It runs everywhere: packages that
+// publish nothing through atomic.Pointer produce no findings, so the
+// scope is self-limiting.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapmut",
+	Doc:  "flags writes to fields of snapshot types after publication through atomic.Pointer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	published := publishedTypes(pass)
+	if len(published) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, published, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFunc(pass, published, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// publishedTypes collects every named type T for which this package
+// declares an atomic.Pointer[T] anywhere (struct field, package or
+// local variable).
+func publishedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		if elem := atomicPointerElem(v.Type()); elem != nil {
+			if named, ok := elem.(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+				out[named.Obj()] = true
+			}
+		}
+	}
+	return out
+}
+
+// atomicPointerElem returns T when t is sync/atomic.Pointer[T].
+func atomicPointerElem(t types.Type) types.Type {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return args.At(0)
+}
+
+// checkFunc analyzes one function body. It first collects the locals
+// freshly constructed here (and where, if anywhere, each is Store'd),
+// then flags every field write whose base is not such a pre-publication
+// local.
+func checkFunc(pass *analysis.Pass, published map[*types.TypeName]bool, body *ast.BlockStmt) {
+	fresh := freshLocals(pass, published, body)
+	stored := storePositions(pass, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals get their own checkFunc pass
+		}
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				checkWrite(pass, published, fresh, stored, lhs, stmt.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, published, fresh, stored, stmt.X, stmt.Pos())
+		}
+		return true
+	})
+}
+
+// checkWrite flags lhs when it writes a field of a published type
+// through anything but a fresh, not-yet-stored local.
+func checkWrite(pass *analysis.Pass, published map[*types.TypeName]bool, fresh map[types.Object]token.Pos, stored map[types.Object]token.Pos, lhs ast.Expr, at token.Pos) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return // qualified identifier or method value, not a field write
+	}
+	base := ast.Unparen(sel.X)
+	// Normalize explicit derefs: (*p).F writes through p.
+	if star, ok := base.(*ast.StarExpr); ok {
+		base = ast.Unparen(star.X)
+	}
+	tv, ok := pass.TypesInfo.Types[base]
+	if !ok {
+		return
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return // writes into a value copy never alias the published pointee
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !published[named.Obj()] {
+		return
+	}
+	if obj := rootObject(pass, base); obj != nil {
+		if _, isFresh := fresh[obj]; isFresh {
+			storeAt, wasStored := stored[obj]
+			if !wasStored || at < storeAt {
+				return // this function's own copy, still unpublished
+			}
+			pass.Reportf(at, "write to %s.%s after the snapshot was published with Store; snapshots are immutable once stored — build a fresh %s instead", obj.Name(), sel.Sel.Name, named.Obj().Name())
+			return
+		}
+	}
+	pass.Reportf(at, "write to field %s of published snapshot type %s; snapshots are copy-on-write — construct a new value and Store it", sel.Sel.Name, named.Obj().Name())
+}
+
+// freshLocals maps each local variable object that is only ever
+// assigned freshly-constructed values (&T{...}, new(T), or another
+// fresh local) to the position of its construction.
+func freshLocals(pass *analysis.Pass, published map[*types.TypeName]bool, body *ast.BlockStmt) map[types.Object]token.Pos {
+	fresh := map[types.Object]token.Pos{}
+	poisoned := map[types.Object]bool{}
+	// Two passes so `a := &T{}; b := a` marks b regardless of order of
+	// deeper aliasing chains; chains longer than the body's statement
+	// count cannot exist.
+	for pass1 := 0; pass1 < 2; pass1++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			var lhss, rhss []ast.Expr
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				lhss, rhss = stmt.Lhs, stmt.Rhs
+			case *ast.ValueSpec: // var ns = &Snapshot{...}
+				for _, name := range stmt.Names {
+					lhss = append(lhss, name)
+				}
+				rhss = stmt.Values
+			default:
+				return true
+			}
+			if len(lhss) != len(rhss) {
+				return true
+			}
+			for i, lhs := range lhss {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if !pointsToPublished(pass, published, obj) {
+					continue
+				}
+				if isFreshExpr(pass, fresh, rhss[i]) {
+					if _, seen := fresh[obj]; !seen && !poisoned[obj] {
+						fresh[obj] = rhss[i].Pos()
+					}
+				} else {
+					// Reassigned from a non-fresh source (Load result,
+					// parameter, ...): the local may alias published data.
+					poisoned[obj] = true
+					delete(fresh, obj)
+				}
+			}
+			return true
+		})
+	}
+	return fresh
+}
+
+func pointsToPublished(pass *analysis.Pass, published map[*types.TypeName]bool, obj types.Object) bool {
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && published[named.Obj()]
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: &T{...},
+// new(T), or an alias of an already-fresh local.
+func isFreshExpr(pass *analysis.Pass, fresh map[types.Object]token.Pos, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+			_, ok := fresh[obj]
+			return ok
+		}
+	}
+	return false
+}
+
+// storePositions records, for each local, the position of the first
+// atomic Pointer.Store call that publishes it.
+func storePositions(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]token.Pos {
+	stored := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Store" {
+			return true
+		}
+		recv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || atomicPointerElem(recv.Type) == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if old, seen := stored[obj]; !seen || call.Pos() < old {
+					stored[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return stored
+}
+
+// rootObject resolves the identifier at the base of a selector chain
+// (s.x.y -> s, p -> p); nil when the base is a call or index result.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			// A field path like s.cache.snap roots at s only if we treat
+			// the whole chain as one storage location; for freshness we
+			// require a plain local, so a selector base is never fresh.
+			return nil
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

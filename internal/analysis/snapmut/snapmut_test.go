@@ -1,0 +1,15 @@
+package snapmut_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/snapmut"
+)
+
+func TestSnapmut(t *testing.T) {
+	analysistest.Run(t, snapmut.Analyzer,
+		"testdata/src/a", // published-snapshot mutations (PR-2 bug shape)
+		"testdata/src/b", // copy-on-write: build fresh, fill, Store
+	)
+}

@@ -1,0 +1,50 @@
+// Fixture a: mutations of a published snapshot — the bug shape PR 2's
+// review caught by hand in the serving layer, modeled on
+// server.Snapshot / server.Server.
+package a
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type snapshot struct {
+	links     []string
+	version   uint64
+	published time.Time
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// mutateLoaded writes straight through the Load result: a concurrent
+// query handler holding the same pointer observes the torn update.
+func mutateLoaded(s *server) {
+	s.snap.Load().version = 2 // want `write to field version of published snapshot type snapshot`
+}
+
+// mutateViaLocal is the same race one assignment later.
+func mutateViaLocal(s *server, extra string) {
+	sn := s.snap.Load()
+	sn.links = append(sn.links, extra) // want `write to field links of published snapshot type snapshot`
+}
+
+// mutateAfterStore builds a fresh snapshot correctly, publishes it, and
+// then keeps writing: immutable-after-Store is the contract.
+func mutateAfterStore(s *server) {
+	ns := &snapshot{version: 1}
+	s.snap.Store(ns)
+	ns.version = 2 // want `write to ns.version after the snapshot was published with Store`
+}
+
+// mutateParam writes through a pointer of unknown provenance; callers
+// pass published snapshots here.
+func mutateParam(sn *snapshot) {
+	sn.version++ // want `write to field version of published snapshot type snapshot`
+}
+
+// mutateReceiver is the method form of the same hazard.
+func (sn *snapshot) touch() {
+	sn.published = time.Time{} // want `write to field published of published snapshot type snapshot`
+}

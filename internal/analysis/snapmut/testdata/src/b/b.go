@@ -1,0 +1,53 @@
+// Fixture b: the compliant copy-on-write idiom — exactly what
+// server.(*Server).publish does.
+package b
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type snapshot struct {
+	links     []string
+	version   uint64
+	published time.Time
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// publish builds a fresh value, fills it while unpublished, and swaps
+// the pointer; the old snapshot is never touched.
+func publish(s *server, links []string) {
+	old := s.snap.Load()
+	ns := &snapshot{
+		links:   links,
+		version: old.version + 1,
+	}
+	ns.published = time.Now()
+	s.snap.Store(ns)
+}
+
+// publishVar is the same with a var declaration and new().
+func publishVar(s *server) {
+	var ns = new(snapshot)
+	ns.version = 1
+	s.snap.Store(ns)
+}
+
+// valueCopy mutates a dereferenced copy: no aliasing with the published
+// pointee, so republishing the copy is fine.
+func valueCopy(s *server) {
+	v := *s.snap.Load()
+	v.version++
+	s.snap.Store(&v)
+}
+
+// alias keeps freshness across a plain assignment chain.
+func alias(s *server) {
+	ns := &snapshot{}
+	tmp := ns
+	tmp.version = 7
+	s.snap.Store(tmp)
+}

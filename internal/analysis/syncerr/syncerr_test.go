@@ -1,0 +1,15 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	analysistest.Run(t, syncerr.Analyzer,
+		"testdata/src/a", // PR-2 bug shapes: dropped wal Close/Sync errors
+		"testdata/src/b", // compliant: folded, explicit, read-only defers
+	)
+}

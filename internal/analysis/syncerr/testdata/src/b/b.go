@@ -1,0 +1,64 @@
+// Fixture b: the compliant idioms — errors folded into the surrounding
+// error path, explicit discards, and deferred closes of read-only
+// handles.
+package b
+
+import (
+	"io"
+
+	"alex/internal/wal"
+)
+
+// foldedClose captures the close error the way wal.(*Log).scan does
+// after the fix.
+func foldedClose(rc io.ReadCloser) ([]byte, error) {
+	data, err := io.ReadAll(rc)
+	cerr := rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return data, nil
+}
+
+// explicitDiscard acknowledges the drop visibly; the blank assignment is
+// the reviewer-facing signal that the error is meaningless here.
+func explicitDiscard(f wal.File) {
+	_ = f.Close()
+}
+
+// deferredReadOnly is idiomatic: the handle cannot write, so Close
+// carries no flush error worth keeping.
+func deferredReadOnly(fs wal.FS) error {
+	rc, err := fs.Open("journal")
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	_, err = io.ReadAll(rc)
+	return err
+}
+
+// successPathClose checks Sync and Close on the success path, like
+// wal.(*Log).Checkpoint's temp-file write.
+func successPathClose(fs wal.FS) error {
+	f, err := fs.Create("state.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("state"))
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

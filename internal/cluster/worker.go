@@ -292,17 +292,25 @@ func (w *Worker) Candidates(_ Empty, reply *CandidatesReply) error {
 }
 
 // Serve accepts RPC connections on l and serves a single Worker until
-// the listener is closed. It is the main loop of cmd/alexworker.
+// the listener is closed. Every connection goroutine is drained before
+// Serve returns, so closing the listener is a complete shutdown. It is
+// the main loop of cmd/alexworker.
 func Serve(l net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", NewWorker()); err != nil {
 		return err
 	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go srv.ServeConn(conn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeConn(conn)
+		}()
 	}
 }

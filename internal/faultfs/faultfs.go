@@ -27,14 +27,17 @@ var ErrCrashed = errors.New("faultfs: crashed")
 type FS struct {
 	inner wal.FS
 
-	mu          sync.Mutex
-	writes      int // completed Write calls across all files
-	syncs       int // completed Sync calls across all files
-	failSyncAt  int // fail the nth sync (1-based); 0 = never
-	failSyncAll bool
-	shortAt     int // tear the nth write in half (1-based); 0 = never
-	crashAfter  int // crash once this many writes have completed; -1 = never
-	crashed     bool
+	mu           sync.Mutex
+	writes       int // completed Write calls across all files
+	syncs        int // completed Sync calls across all files
+	closes       int // completed Close calls across all files
+	failSyncAt   int // fail the nth sync (1-based); 0 = never
+	failSyncAll  bool
+	failCloseAt  int // fail the nth close (1-based); 0 = never
+	failCloseAll bool
+	shortAt      int // tear the nth write in half (1-based); 0 = never
+	crashAfter   int // crash once this many writes have completed; -1 = never
+	crashed      bool
 }
 
 // New wraps inner (nil for the real OS).
@@ -52,6 +55,16 @@ func (f *FS) FailSyncAt(n int) { f.mu.Lock(); f.failSyncAt = n; f.mu.Unlock() }
 // FailAllSyncs makes every subsequent Sync return ErrInjected,
 // simulating a disk that accepts writes but cannot persist them.
 func (f *FS) FailAllSyncs(fail bool) { f.mu.Lock(); f.failSyncAll = fail; f.mu.Unlock() }
+
+// FailCloses makes every subsequent file Close return ErrInjected after
+// releasing the handle, the shape of a flush-on-close failure (full
+// disk, NFS). Revive clears it.
+func (f *FS) FailCloses(fail bool) { f.mu.Lock(); f.failCloseAll = fail; f.mu.Unlock() }
+
+// FailCloseAt makes the nth file Close (1-based, counted across all
+// files) return ErrInjected after releasing the handle. Later closes
+// succeed.
+func (f *FS) FailCloseAt(n int) { f.mu.Lock(); f.failCloseAt = n; f.mu.Unlock() }
 
 // ShortWriteAt makes the nth Write (1-based) persist only the first
 // half of its buffer and return ErrInjected: a torn record.
@@ -76,6 +89,8 @@ func (f *FS) Revive() {
 	f.crashAfter = -1
 	f.failSyncAt = 0
 	f.failSyncAll = false
+	f.failCloseAt = 0
+	f.failCloseAll = false
 	f.shortAt = 0
 	f.mu.Unlock()
 }
@@ -204,5 +219,15 @@ func (w *file) Sync() error {
 func (w *file) Close() error {
 	// Close works even when crashed: the real kernel closes descriptors
 	// of dead processes too, and recovery code needs to release handles.
-	return w.inner.Close()
+	// An injected close failure still releases the inner handle — the
+	// kernel frees the descriptor even when close(2) reports an error.
+	w.fs.mu.Lock()
+	w.fs.closes++
+	fail := w.fs.failCloseAll || (w.fs.failCloseAt > 0 && w.fs.closes == w.fs.failCloseAt)
+	w.fs.mu.Unlock()
+	err := w.inner.Close()
+	if fail {
+		return ErrInjected
+	}
+	return err
 }

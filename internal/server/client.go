@@ -178,7 +178,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 			continue
 		}
 		data, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		if cerr := resp.Body.Close(); readErr == nil {
+			readErr = cerr
+		}
 		if retryableStatus(resp.StatusCode) && attempt < p.MaxAttempts-1 {
 			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
 			wait, _ = retryAfter(resp.Header)

@@ -1,0 +1,107 @@
+package wal_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"alex/internal/faultfs"
+	"alex/internal/wal"
+)
+
+// Close errors on the journal and checkpoint files used to be silently
+// dropped (the bug syncerr now flags); these tests pin the fixed
+// behavior: a failed close surfaces to the caller and the log refuses
+// to keep appending on a handle in an unknown state.
+
+// TestCheckpointResetCloseFailure injects a failure on the journal
+// handle's close during Checkpoint's journal reset. The checkpoint is
+// already durable at that point, so the error must surface, appends
+// must be refused, and a reopen must recover the checkpointed state.
+func TestCheckpointResetCloseFailure(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(nil)
+	l, err := wal.Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append([]byte("fed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closes inside Checkpoint: #1 the checkpoint temp file, #2 the
+	// journal handle being reset.
+	fs.FailCloseAt(2)
+	err = l.Checkpoint(seq, []byte("state"))
+	if err == nil {
+		t.Fatal("Checkpoint succeeded despite journal close failure")
+	}
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Checkpoint error = %v, want wrapped ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "journal reset close") {
+		t.Fatalf("Checkpoint error = %v, want journal reset close context", err)
+	}
+	if _, err := l.Append([]byte("more")); !errors.Is(err, wal.ErrBroken) {
+		t.Fatalf("Append after failed reset close = %v, want ErrBroken", err)
+	}
+
+	// The checkpoint itself was durable: a restart recovers it and the
+	// log accepts appends again.
+	fs.Revive()
+	l2, err := wal.Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckSeq, state, ok, err := l2.LatestCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint = ok %v, err %v", ok, err)
+	}
+	if ckSeq != seq || string(state) != "state" {
+		t.Fatalf("recovered checkpoint (%d, %q), want (%d, %q)", ckSeq, state, seq, "state")
+	}
+	if _, err := l2.Append([]byte("after restart")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+}
+
+// TestRepairCloseFailureMarksBroken forces an append's fsync to fail so
+// repair runs, then fails the close inside repair: the log must mark
+// itself broken instead of appending through a handle it could not
+// roll back.
+func TestRepairCloseFailureMarksBroken(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(nil)
+	l, err := wal.Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("ok")); err != nil { // sync #1
+		t.Fatal(err)
+	}
+	fs.FailSyncAt(2)
+	fs.FailCloses(true)
+	if _, err := l.Append([]byte("torn")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Append with failing sync = %v, want wrapped ErrInjected", err)
+	}
+	if _, err := l.Append([]byte("more")); !errors.Is(err, wal.ErrBroken) {
+		t.Fatalf("Append after failed repair = %v, want ErrBroken", err)
+	}
+
+	// Restart over the same directory: the acked record must survive.
+	fs.Revive()
+	l2, err := wal.Open(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovered []string
+	if _, err := l2.Replay(0, func(r wal.Record) error {
+		recovered = append(recovered, string(r.Data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) == 0 || recovered[0] != "ok" {
+		t.Fatalf("recovered %q, want the acked record first", recovered)
+	}
+}

@@ -152,7 +152,9 @@ func (l *Log) scan() error {
 		return fmt.Errorf("wal: open journal: %w", err)
 	}
 	data, err := io.ReadAll(rc)
-	rc.Close()
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("wal: read journal: %w", err)
 	}
@@ -245,7 +247,12 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // boundary after a failed append, reopening the append handle. Failure
 // to repair marks the log broken.
 func (l *Log) repair() {
-	l.f.Close()
+	if err := l.f.Close(); err != nil {
+		// A failed close leaves the handle's state unknown; the torn
+		// tail stays on disk for the next Open's scan to truncate.
+		l.broken = true
+		return
+	}
 	if err := l.fs.Truncate(l.journalPath(), l.size); err != nil {
 		l.broken = true
 		return
@@ -315,7 +322,13 @@ func (l *Log) Checkpoint(seq uint64, state []byte) error {
 	// The checkpoint is durable; the journal records it absorbed are no
 	// longer needed. A crash before (or during) this reset is harmless:
 	// replay skips seqs the checkpoint covers.
-	l.f.Close()
+	if err := l.f.Close(); err != nil {
+		// The checkpoint is already durable, but the journal handle is
+		// now in an unknown state: refuse appends until the next reset
+		// or reopen succeeds.
+		l.broken = true
+		return fmt.Errorf("wal: journal reset close: %w", err)
+	}
 	nf, err := l.fs.Create(l.journalPath())
 	if err != nil {
 		return fmt.Errorf("wal: journal reset: %w", err)
