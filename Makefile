@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify fmt fmt-check bench clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space clean
 
 all: verify
 
@@ -35,8 +35,16 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench:
+bench: bench-space
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-space runs the feature-space construction scaling benchmark
+# (-cpu rows are the parallel speedup curve) and records the results as
+# BENCH_space.json via cmd/benchjson.
+bench-space:
+	$(GO) test -run '^$$' -bench '^BenchmarkSpaceBuild$$' -benchmem \
+		-cpu=1,2,4,8 ./internal/feature | \
+		$(GO) run ./cmd/benchjson -out BENCH_space.json
 
 clean:
 	$(GO) clean ./...

@@ -19,7 +19,9 @@ import (
 	"strings"
 	"time"
 
+	"alex/internal/core"
 	"alex/internal/experiments"
+	"alex/internal/pprofserve"
 )
 
 var experimentOrder = []string{
@@ -54,9 +56,19 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "entity-count scale factor for quicker runs")
 	seed := flag.Int64("seed", 42, "feedback oracle seed")
 	csvDir := flag.String("csv", "", "also write per-episode series as CSV files into this directory")
+	spaceWorkers := flag.Int("space-workers", 0, "goroutines per feature-space build (0 = GOMAXPROCS)")
+	blocking := flag.Bool("block", false, "enable candidate blocking during space construction")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	csvOut = *csvDir
+
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "alexbench: pprof: %v\n", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experimentOrder, "\n"))
@@ -67,7 +79,10 @@ func main() {
 	if *exp == "all" {
 		ids = experimentOrder
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Mutate: func(c *core.Config) {
+		c.SpaceWorkers = *spaceWorkers
+		c.SpaceBlocking = *blocking
+	}}
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("==================== %s ====================\n", id)

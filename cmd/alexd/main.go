@@ -34,6 +34,7 @@ import (
 	"alex/internal/federation"
 	"alex/internal/links"
 	"alex/internal/paris"
+	"alex/internal/pprofserve"
 	"alex/internal/rdf"
 	"alex/internal/server"
 	"alex/internal/synth"
@@ -47,6 +48,9 @@ func main() {
 	ds2Path := flag.String("ds2", "", "N-Triples file of dataset 2")
 	linksPath := flag.String("links", "", "N-Triples file of initial owl:sameAs links (default: run the PARIS linker)")
 	partitions := flag.Int("partitions", 0, "ALEX partitions (0 = profile default or 1)")
+	spaceWorkers := flag.Int("space-workers", 0, "goroutines per feature-space build (0 = GOMAXPROCS)")
+	blocking := flag.Bool("block", false, "enable candidate blocking during space construction")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	episodeSize := flag.Int("episode-size", 100, "link-level feedback items per serving episode")
 	queueSize := flag.Int("queue", 1024, "feedback queue capacity (full queue -> 429)")
 	flush := flag.Duration("flush", 250*time.Millisecond, "finish a partial episode after this much idle time")
@@ -60,6 +64,12 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
 	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
 	flag.Parse()
+
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		log.Printf("pprof on http://%s/debug/pprof/", addr)
+	}
 
 	if (*profile == "") == (*ds1Path == "" || *ds2Path == "") {
 		fmt.Fprintln(os.Stderr, "alexd: exactly one of -profile or (-ds1 and -ds2) is required")
@@ -119,7 +129,9 @@ func main() {
 	if *partitions > 0 {
 		cfg.Partitions = *partitions
 	}
-	log.Printf("building ALEX system (%d partitions)...", cfg.Partitions)
+	cfg.SpaceWorkers = *spaceWorkers
+	cfg.SpaceBlocking = *blocking
+	log.Printf("building ALEX system (%d partitions, blocking %v)...", cfg.Partitions, *blocking)
 	sys := core.New(g1, g2, e1, e2, initial, cfg)
 
 	srv, err := server.New(sys, dict, []federation.Source{

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// file while echoing the original text through unchanged, so it can sit
+// at the end of a benchmark pipe:
+//
+//	go test -bench BenchmarkSpaceBuild -cpu=1,2,4,8 ./internal/feature |
+//	    go run ./cmd/benchjson -out BENCH_space.json
+//
+// Each benchmark result line becomes one JSON record with the metrics
+// Go reports: ns/op always, plus pairs/s, B/op and allocs/op when the
+// benchmark emits them. The -cpu suffix of the benchmark name is parsed
+// into its own field so scaling rows are directly comparable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result.
+type Row struct {
+	Name        string  `json:"name"`
+	CPUs        int     `json:"cpus"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_space.json", "JSON output file")
+	flag.Parse()
+
+	var rows []Row
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			rows = append(rows, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d rows to %s\n", len(rows), *out)
+}
+
+// parseLine recognizes a result line such as
+//
+//	BenchmarkSpaceBuild/unblocked-8  2  512345678 ns/op  801234 pairs/s  96 B/op  3 allocs/op
+//
+// and returns false for everything else (headers, PASS, ok, …).
+func parseLine(line string) (Row, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Row{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Row{}, false
+	}
+	r := Row{Name: f[0], CPUs: 1, Iterations: iters}
+	if i := strings.LastIndexByte(f[0], '-'); i >= 0 {
+		if n, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.CPUs = f[0][:i], n
+		}
+	}
+	// The rest alternates value, unit.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Row{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "pairs/s":
+			r.PairsPerSec = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Row{}, false
+	}
+	return r, true
+}

@@ -40,6 +40,8 @@ type ConfigWire struct {
 	NegativePenalty   float64
 	Seed              int64
 	UniformPolicy     bool
+	SpaceWorkers      int
+	SpaceBlocking     bool
 }
 
 // FromConfig converts a core.Config for the wire.
@@ -50,6 +52,7 @@ func FromConfig(c core.Config) ConfigWire {
 		BlacklistMargin: c.BlacklistMargin, UseRollback: c.UseRollback,
 		RollbackThreshold: c.RollbackThreshold, PositiveReward: c.PositiveReward,
 		NegativePenalty: c.NegativePenalty, Seed: c.Seed, UniformPolicy: c.UniformPolicy,
+		SpaceWorkers: c.SpaceWorkers, SpaceBlocking: c.SpaceBlocking,
 	}
 }
 
@@ -67,6 +70,8 @@ func (w ConfigWire) toConfig() core.Config {
 	c.NegativePenalty = w.NegativePenalty
 	c.Seed = w.Seed
 	c.UniformPolicy = w.UniformPolicy
+	c.SpaceWorkers = w.SpaceWorkers
+	c.SpaceBlocking = w.SpaceBlocking
 	c.Partitions = 1  // a worker is exactly one partition
 	c.EpisodeSize = 1 // episodes are driven item-by-item by the coordinator
 	return c

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"alex/internal/feature"
 	"alex/internal/feedback"
@@ -74,25 +72,24 @@ func New(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, initial []links.Link,
 		}
 	}
 
-	// Build partition spaces, in parallel when cores allow.
+	// Build partition spaces. Build parallelizes internally across
+	// SpaceWorkers goroutines, so the partitions are constructed one
+	// after another against a single shared signature table instead of
+	// each recomputing its own (which the pre-signature-table code did
+	// by building partitions concurrently).
 	spaces := make([]*feature.Space, len(partEnts))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(partEnts) {
-		workers = len(partEnts)
+	fopts := feature.Options{
+		Theta:    cfg.Theta,
+		Sim:      cfg.Sim,
+		Workers:  cfg.SpaceWorkers,
+		Blocking: cfg.SpaceBlocking,
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	if cfg.Sim == nil {
+		fopts.Sigs = feature.NewSigTable(g1.Dict())
+	}
 	for pi := range partEnts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(pi int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			spaces[pi] = feature.Build(g1, g2, partEnts[pi], entities2,
-				feature.Options{Theta: cfg.Theta, Sim: cfg.Sim})
-		}(pi)
+		spaces[pi] = feature.Build(g1, g2, partEnts[pi], entities2, fopts)
 	}
-	wg.Wait()
 
 	s.parts = make([]*partition, len(partEnts))
 	for pi := range partEnts {

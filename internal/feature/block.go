@@ -1,0 +1,216 @@
+package feature
+
+import (
+	"math"
+	"sort"
+
+	"alex/internal/rdf"
+)
+
+// Candidate blocking (Options.Blocking): an inverted index from
+// blocking keys of dataset-2 attribute values to the entities carrying
+// them. A dataset-1 entity then only visits dataset-2 entities with
+// which it shares at least one blocking key, instead of the full
+// |E1|×|E2| cross product.
+//
+// Correctness rests on a θ-unreachability argument against the built-in
+// similarity (SigTable.sim): for θ > 0 a pair can only enter the space
+// if some attribute pair scores ≥ θ, and every way to score ≥ θ implies
+// a shared blocking key:
+//
+//   - identical object IDs score 1 → identity key (one per ID);
+//   - dates score ≥ θ only if |Δ| ≤ 365(1−θ) days → buckets of that
+//     width differ by at most one, and the probe visits b−1, b, b+1;
+//   - numbers score ≥ θ only if |Δ| ≤ 10(1−θ) → same construction;
+//   - strings/IRIs score ≥ θ only if trigram Jaccard ≥ θ, token
+//     Jaccard ≥ θ, or the normal forms are equal and non-empty (which
+//     implies trigram Jaccard = 1). For Jaccard ≥ θ the prefix
+//     filtering principle applies (Chaudhuri et al., PPJoin): the
+//     overlap must be at least α = max(⌈θ|A|⌉, ⌈θ|B|⌉), and two sets
+//     with overlap ≥ α must share an element within the first
+//     |X|−α+1 ≤ |X|−⌈θ|X|⌉+1 elements of any shared total order. So
+//     indexing and probing only the sorted hash prefix of length
+//     |X|−⌈θ|X|⌉+1 never drops a qualifying pair, while keeping the
+//     long tails of common values out of the posting lists.
+//
+// Key collisions (hash collisions, bucket aliasing after clamping) only
+// ever admit extra candidates, which the ordinary θ-filter then scores
+// and discards — they can never drop a pair. The blocked space is
+// therefore identical to the unblocked one; the exhaustive equivalence
+// test over every synth profile (parallel_test.go) checks exactly that.
+const (
+	blockKeyMask uint64 = 1<<60 - 1
+	blockTagText uint64 = 1 << 60
+	blockTagNum  uint64 = 2 << 60
+	blockTagDate uint64 = 3 << 60
+	blockTagID   uint64 = 4 << 60
+)
+
+// blockWidth returns the bucket width within which a proximity score
+// over a window of size w can still reach θ: |Δ| ≤ w(1−θ). The floor
+// keeps the width positive for θ ≥ 1 (only exact value matches qualify
+// then, which land in the same bucket regardless of width).
+func blockWidth(w, theta float64) float64 {
+	f := 1 - theta
+	if f < 0.01 {
+		f = 0.01
+	}
+	return w * f
+}
+
+// bucketOf returns the blocking bucket of a numeric/date magnitude.
+// Clamping keeps the float→int conversion defined; it is monotone, so
+// "buckets differ by at most one" survives it.
+func bucketOf(num, width float64) int64 {
+	b := math.Floor(num / width)
+	if b > 1e15 {
+		b = 1e15
+	}
+	if b < -1e15 {
+		b = -1e15
+	}
+	return int64(b)
+}
+
+func numKey(bucket int64) uint64  { return blockTagNum | (uint64(bucket) & blockKeyMask) }
+func dateKey(bucket int64) uint64 { return blockTagDate | (uint64(bucket) & blockKeyMask) }
+
+// prefixLen returns the length of the sorted-set prefix that must be
+// indexed/probed for Jaccard ≥ theta: n − ⌈θn⌉ + 1, clamped to [0, n].
+func prefixLen(n int, theta float64) int {
+	if n == 0 {
+		return 0
+	}
+	p := n - int(math.Ceil(theta*float64(n))) + 1
+	if p < 0 {
+		return 0
+	}
+	if p > n {
+		return n
+	}
+	return p
+}
+
+// blockIndex is the read-only inverted index over dataset-2 attribute
+// values, shared by all workers of one Build.
+type blockIndex struct {
+	sigs     *SigTable
+	theta    float64
+	numWidth float64
+	dayWidth float64
+	n        int
+	post     map[uint64][]int32 // blocking key → ascending entities2 indices
+}
+
+func newBlockIndex(sigs *SigTable, theta float64, attrs2 [][]rdf.Attribute) *blockIndex {
+	b := &blockIndex{
+		sigs:     sigs,
+		theta:    theta,
+		numWidth: blockWidth(10, theta),
+		dayWidth: blockWidth(365, theta),
+		n:        len(attrs2),
+		post:     make(map[uint64][]int32),
+	}
+	var keys []uint64
+	for i2, attrs := range attrs2 {
+		keys = keys[:0]
+		for _, a := range attrs {
+			keys = b.appendValueKeys(keys, a.Obj)
+		}
+		keys = dedupSortedUint64(keys)
+		for _, k := range keys {
+			b.post[k] = append(b.post[k], int32(i2))
+		}
+	}
+	return b
+}
+
+// appendValueKeys emits the blocking keys under which one attribute
+// value is indexed.
+func (b *blockIndex) appendValueKeys(keys []uint64, o rdf.ID) []uint64 {
+	keys = append(keys, blockTagID|(uint64(o)&blockKeyMask))
+	s := b.sigs.sig(o)
+	switch s.kind {
+	case sigNumber:
+		keys = append(keys, numKey(bucketOf(s.num, b.numWidth)))
+	case sigDate:
+		keys = append(keys, dateKey(bucketOf(s.num, b.dayWidth)))
+	default: // strings and IRIs
+		for _, h := range s.tri[:prefixLen(len(s.tri), b.theta)] {
+			keys = append(keys, blockTagText|uint64(h))
+		}
+		for _, h := range s.tok[:prefixLen(len(s.tok), b.theta)] {
+			keys = append(keys, blockTagText|uint64(h))
+		}
+	}
+	return keys
+}
+
+func dedupSortedUint64(xs []uint64) []uint64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// blockProbe is one worker's scratch space for candidate lookups; the
+// underlying index is shared and read-only.
+type blockProbe struct {
+	idx  *blockIndex
+	seen []bool
+	out  []int32
+}
+
+func (b *blockIndex) newProbe() *blockProbe {
+	return &blockProbe{idx: b, seen: make([]bool, b.n)}
+}
+
+// candidates returns the ascending entities2 indices that share at
+// least one blocking key with the attribute values of a1.
+func (p *blockProbe) candidates(a1 []rdf.Attribute) []int32 {
+	p.out = p.out[:0]
+	add := func(k uint64) {
+		for _, i2 := range p.idx.post[k] {
+			if !p.seen[i2] {
+				p.seen[i2] = true
+				p.out = append(p.out, i2)
+			}
+		}
+	}
+	for _, a := range a1 {
+		o := a.Obj
+		add(blockTagID | (uint64(o) & blockKeyMask))
+		s := p.idx.sigs.sig(o)
+		switch s.kind {
+		case sigNumber:
+			bk := bucketOf(s.num, p.idx.numWidth)
+			add(numKey(bk - 1))
+			add(numKey(bk))
+			add(numKey(bk + 1))
+		case sigDate:
+			bk := bucketOf(s.num, p.idx.dayWidth)
+			add(dateKey(bk - 1))
+			add(dateKey(bk))
+			add(dateKey(bk + 1))
+		default:
+			for _, h := range s.tri[:prefixLen(len(s.tri), p.idx.theta)] {
+				add(blockTagText | uint64(h))
+			}
+			for _, h := range s.tok[:prefixLen(len(s.tok), p.idx.theta)] {
+				add(blockTagText | uint64(h))
+			}
+		}
+	}
+	sort.Slice(p.out, func(i, j int) bool { return p.out[i] < p.out[j] })
+	for _, i2 := range p.out {
+		p.seen[i2] = false
+	}
+	return p.out
+}

@@ -9,13 +9,22 @@ import (
 	"alex/internal/similarity"
 )
 
-// fastSim is a precomputing implementation of similarity.SpaceSim used
-// when Options.Sim is left nil: every term is classified and tokenized
-// once, so the per-pair cost during space construction is two sorted
-// array intersections instead of repeated string processing.
-type fastSim struct {
-	d     *rdf.Dict
-	cache map[rdf.ID]*termSig
+// SigTable is a precomputed term-signature table: a dense array indexed
+// by rdf.ID (the dictionary assigns dense IDs) holding, for every
+// interned term, its classification and tokenization. It is the fast
+// path behind space construction when Options.Sim is nil: every term is
+// classified and tokenized exactly once, so the per-pair cost during
+// construction is two sorted array intersections instead of repeated
+// string processing, with no map lookups in the inner loop.
+//
+// A SigTable is read-only after construction and therefore safe to
+// share between the worker goroutines of one Build and across the
+// Builds of several partitions, as long as they all use the dictionary
+// the table was built from. Terms interned after construction are not
+// covered; Build panics (index out of range) rather than silently
+// degrading.
+type SigTable struct {
+	sigs []termSig
 }
 
 type termKind uint8
@@ -35,23 +44,28 @@ type termSig struct {
 	tok  []uint32 // sorted unique token hashes
 }
 
-func newFastSim(d *rdf.Dict) *fastSim {
-	return &fastSim{d: d, cache: make(map[rdf.ID]*termSig)}
+// NewSigTable classifies and tokenizes every term currently interned in
+// d in one pass. Cost is linear in the dictionary; see DESIGN.md
+// "Shared signature table".
+func NewSigTable(d *rdf.Dict) *SigTable {
+	n := d.Len()
+	t := &SigTable{sigs: make([]termSig, n+1)} // slot 0 reserved for NoID
+	for id := 1; id <= n; id++ {
+		buildSig(d.Term(rdf.ID(id)), &t.sigs[id])
+	}
+	return t
 }
 
-func (f *fastSim) sig(id rdf.ID) *termSig {
-	if s, ok := f.cache[id]; ok {
-		return s
-	}
-	s := buildSig(f.d.Term(id))
-	f.cache[id] = s
-	return s
-}
+// Len returns the number of signatures in the table.
+func (t *SigTable) Len() int { return len(t.sigs) - 1 }
+
+func (t *SigTable) sig(id rdf.ID) *termSig { return &t.sigs[id] }
 
 var dateLayouts = []string{"2006-01-02", "2006-01-02T15:04:05", "2006"}
 
-func buildSig(t rdf.Term) *termSig {
-	s := &termSig{}
+// buildSig fills s with the signature of t. Writing into caller-owned
+// storage keeps the dense table a single allocation.
+func buildSig(t rdf.Term, s *termSig) {
 	raw := t.Value
 	if t.IsIRI() || t.IsBlank() {
 		s.kind = sigIRI
@@ -62,32 +76,31 @@ func buildSig(t rdf.Term) *termSig {
 			if v, err := strconv.ParseFloat(raw, 64); err == nil {
 				s.kind = sigNumber
 				s.num = v
-				return s
+				return
 			}
 		case rdf.XSDDate, rdf.XSDDateTime:
 			if d, ok := parseAnyDate(raw); ok {
 				s.kind = sigDate
 				s.num = float64(d.Unix()) / 86400
-				return s
+				return
 			}
 		case rdf.XSDString:
 			// plain literal: sniff the lexical form
 			if v, err := strconv.ParseFloat(raw, 64); err == nil {
 				s.kind = sigNumber
 				s.num = v
-				return s
+				return
 			}
 			if d, ok := parseAnyDate(raw); ok {
 				s.kind = sigDate
 				s.num = float64(d.Unix()) / 86400
-				return s
+				return
 			}
 		}
 	}
 	s.norm = similarity.Normalize(raw)
 	s.tri = trigramHashes(s.norm)
 	s.tok = tokenHashes(s.norm)
-	return s
 }
 
 func parseAnyDate(v string) (time.Time, bool) {
@@ -180,11 +193,11 @@ func jaccardSorted(a, b []uint32) float64 {
 }
 
 // sim mirrors similarity.SpaceSim over precomputed signatures.
-func (f *fastSim) sim(o1, o2 rdf.ID) float64 {
+func (t *SigTable) sim(o1, o2 rdf.ID) float64 {
 	if o1 == o2 {
 		return 1
 	}
-	a, b := f.sig(o1), f.sig(o2)
+	a, b := t.sig(o1), t.sig(o2)
 	switch {
 	case a.kind == sigDate && b.kind == sigDate:
 		d := a.num - b.num

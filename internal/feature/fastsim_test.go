@@ -10,9 +10,10 @@ import (
 	"alex/internal/similarity"
 )
 
-// TestFastSimMatchesSpaceSim verifies the precomputing fast path agrees
-// with the reference similarity.SpaceSim on a broad set of term pairs.
-func TestFastSimMatchesSpaceSim(t *testing.T) {
+// TestSigTableMatchesSpaceSim verifies the precomputed signature table
+// agrees with the reference similarity.SpaceSim on a broad set of term
+// pairs.
+func TestSigTableMatchesSpaceSim(t *testing.T) {
 	terms := []rdf.Term{
 		rdf.Literal("LeBron James"),
 		rdf.Literal("James, LeBron"),
@@ -38,11 +39,14 @@ func TestFastSimMatchesSpaceSim(t *testing.T) {
 	for i, tm := range terms {
 		ids[i] = d.Intern(tm)
 	}
-	fs := newFastSim(d)
+	tab := NewSigTable(d)
+	if tab.Len() != d.Len() {
+		t.Fatalf("table covers %d terms, dict has %d", tab.Len(), d.Len())
+	}
 	for i, a := range terms {
 		for j, b := range terms {
 			want := similarity.SpaceSim(a, b)
-			got := fs.sim(ids[i], ids[j])
+			got := tab.sim(ids[i], ids[j])
 			if math.Abs(got-want) > 1e-9 {
 				t.Errorf("sim(%v, %v): fast=%f reference=%f", a, b, got, want)
 			}
@@ -50,16 +54,18 @@ func TestFastSimMatchesSpaceSim(t *testing.T) {
 	}
 }
 
-// Property: fastSim is symmetric, in [0,1], and 1 on identical IDs.
-func TestFastSimProperties(t *testing.T) {
+// Property: the table similarity is symmetric, in [0,1], and 1 on
+// identical IDs. The table is rebuilt after every intern because it
+// only covers terms present at construction time.
+func TestSigTableProperties(t *testing.T) {
 	d := rdf.NewDict()
-	fs := newFastSim(d)
 	prop := func(a, b string) bool {
 		ia := d.Intern(rdf.Literal(a))
 		ib := d.Intern(rdf.Literal(b))
-		x := fs.sim(ia, ib)
-		y := fs.sim(ib, ia)
-		return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9 && fs.sim(ia, ia) == 1
+		tab := NewSigTable(d)
+		x := tab.sim(ia, ib)
+		y := tab.sim(ib, ia)
+		return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9 && tab.sim(ia, ia) == 1
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -102,13 +108,13 @@ func TestDedupSorted(t *testing.T) {
 
 func BenchmarkFastSimNames(b *testing.B) {
 	d := rdf.NewDict()
-	fs := newFastSim(d)
 	var ids []rdf.ID
 	for i := 0; i < 200; i++ {
 		ids = append(ids, d.Intern(rdf.Literal(fmt.Sprintf("Person Number %d Lastname%d", i, i*7%100))))
 	}
+	tab := NewSigTable(d)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fs.sim(ids[i%200], ids[(i*31)%200])
+		tab.sim(ids[i%200], ids[(i*31)%200])
 	}
 }

@@ -9,9 +9,16 @@
 // The space answers the exploration query at the heart of ALEX's action:
 // "all links whose feature (p1, p2) has a score within [lo, hi]", served
 // by a per-feature sorted index in O(log n + answers).
+//
+// Construction is parallel (Options.Workers) over a shared, read-only
+// signature table (SigTable), with optional candidate blocking
+// (Options.Blocking) that prunes entity pairs unable to reach θ on any
+// feature. Both are transparent: the constructed space is identical to
+// a serial, unblocked build. See DESIGN.md "Space construction".
 package feature
 
 import (
+	"runtime"
 	"sort"
 
 	"alex/internal/links"
@@ -54,20 +61,50 @@ func (s Set) Keys() []Key {
 	return out
 }
 
+// DefaultTheta is the paper's default feature-filtering threshold
+// (§6.1).
+const DefaultTheta = 0.3
+
 // Options configures space construction.
 type Options struct {
 	// Theta is the similarity threshold below which feature values are
-	// discarded (paper default 0.3).
+	// discarded. The zero value is an explicit θ=0: every feature of
+	// every pair is kept, including zero-score ones. A negative Theta
+	// means "unset" and is replaced by DefaultTheta.
 	Theta float64
-	// Sim compares two attribute values. When nil, a precomputing
-	// implementation of similarity.SpaceSim is used, which is
-	// substantially faster for large cross products.
+	// Sim compares two attribute values. When nil, the precomputed
+	// signature table (SigTable) implementation of similarity.SpaceSim
+	// is used, which is substantially faster for large cross products.
+	// A non-nil Sim must be safe for concurrent calls when Workers > 1;
+	// results are cached per worker.
 	Sim func(a, b rdf.Term) float64
+	// Workers is the number of goroutines Build uses (0 or negative =
+	// runtime.GOMAXPROCS(0)). The constructed space is byte-identical
+	// for every worker count: shard results are merged with a total
+	// (score, link) order, so scheduling cannot leak into the output.
+	Workers int
+	// Blocking enables candidate blocking: an inverted index over
+	// dataset-2 attribute values (token/trigram hashes, numeric and
+	// date buckets) restricts each dataset-1 entity to candidates that
+	// could reach Theta on at least one feature. The constructed space
+	// is provably identical to the unblocked one (see DESIGN.md for the
+	// θ-unreachability argument); only build time changes. Blocking
+	// requires the built-in similarity (Sim nil) and Theta > 0, and is
+	// ignored otherwise.
+	Blocking bool
+	// Sigs optionally supplies a precomputed signature table covering
+	// the shared dictionary, letting several Builds (e.g. one per
+	// partition) reuse one table. When nil, Build computes its own.
+	// Ignored when Sim is non-nil.
+	Sigs *SigTable
 }
 
 func (o *Options) fill() {
-	if o.Theta == 0 {
-		o.Theta = 0.3
+	if o.Theta < 0 {
+		o.Theta = DefaultTheta
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -76,75 +113,30 @@ type scoredPair struct {
 	link  links.Link
 }
 
+// sortPairs orders index entries by score with the link as tie-breaker.
+// The comparison is a total order over the entries of one feature key (a
+// link occurs at most once per key), so the result is independent of
+// input order — map iteration and parallel merge order cannot leak into
+// the index, and FindInRange answers are stable run to run.
+func sortPairs(ps []scoredPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].score != ps[j].score {
+			return ps[i].score < ps[j].score
+		}
+		if ps[i].link.E1 != ps[j].link.E1 {
+			return ps[i].link.E1 < ps[j].link.E1
+		}
+		return ps[i].link.E2 < ps[j].link.E2
+	})
+}
+
 // Space is the (filtered) space of possible links between a set of
 // dataset-1 entities and a set of dataset-2 entities.
 type Space struct {
 	sets  map[links.Link]Set
-	index map[Key][]scoredPair // sorted ascending by score
+	index map[Key][]scoredPair // sorted ascending by (score, link)
 	// TotalPairs is the unfiltered size |E1|×|E2| (Figure 5a).
 	TotalPairs int
-}
-
-// Build constructs the space for the cross product of entities1 (from
-// g1) and entities2 (from g2). Both graphs must share one dictionary.
-func Build(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, opts Options) *Space {
-	opts.fill()
-	sp := &Space{
-		sets:       make(map[links.Link]Set),
-		index:      make(map[Key][]scoredPair),
-		TotalPairs: len(entities1) * len(entities2),
-	}
-	d := g1.Dict()
-
-	// Pre-materialize entity attribute lists once.
-	attrs2 := make([][]rdf.Attribute, len(entities2))
-	for i, e2 := range entities2 {
-		attrs2[i] = g2.Entity(e2)
-	}
-
-	var sim func(o1, o2 rdf.ID) float64
-	if opts.Sim == nil {
-		fs := newFastSim(d)
-		sim = fs.sim
-	} else {
-		simCache := make(map[[2]rdf.ID]float64)
-		sim = func(o1, o2 rdf.ID) float64 {
-			k := [2]rdf.ID{o1, o2}
-			if v, ok := simCache[k]; ok {
-				return v
-			}
-			v := opts.Sim(d.Term(o1), d.Term(o2))
-			simCache[k] = v
-			return v
-		}
-	}
-
-	for _, e1 := range entities1 {
-		a1 := g1.Entity(e1)
-		if len(a1) == 0 {
-			continue
-		}
-		for i2, e2 := range entities2 {
-			a2 := attrs2[i2]
-			if len(a2) == 0 {
-				continue
-			}
-			set := buildSet(a1, a2, opts.Theta, sim)
-			if len(set) == 0 {
-				continue
-			}
-			l := links.Link{E1: e1, E2: e2}
-			sp.sets[l] = set
-			for _, f := range set {
-				sp.index[f.Key] = append(sp.index[f.Key], scoredPair{score: f.Score, link: l})
-			}
-		}
-	}
-	for k := range sp.index {
-		ps := sp.index[k]
-		sort.Slice(ps, func(i, j int) bool { return ps[i].score < ps[j].score })
-	}
-	return sp
 }
 
 // buildSet computes the similarity matrix between the two attribute

@@ -1,0 +1,149 @@
+package feature
+
+import (
+	"sync"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// Build constructs the space for the cross product of entities1 (from
+// g1) and entities2 (from g2). Both graphs must share one dictionary.
+//
+// Construction shards entities1 across Options.Workers goroutines. Each
+// worker fills shard-local sets and index maps against the shared
+// read-only signature table; the shards are then merged and every index
+// slice is sorted by the total (score, link) order, so the result is
+// byte-identical to a serial build regardless of worker count or
+// scheduling.
+func Build(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, opts Options) *Space {
+	opts.fill()
+	sp := &Space{
+		sets:       make(map[links.Link]Set),
+		index:      make(map[Key][]scoredPair),
+		TotalPairs: len(entities1) * len(entities2),
+	}
+	d := g1.Dict()
+
+	// Pre-materialize entity attribute lists once.
+	attrs2 := make([][]rdf.Attribute, len(entities2))
+	for i, e2 := range entities2 {
+		attrs2[i] = g2.Entity(e2)
+	}
+
+	sigs := opts.Sigs
+	if sigs == nil && opts.Sim == nil {
+		sigs = NewSigTable(d)
+	}
+
+	// Blocking needs the built-in similarity (the θ-unreachability
+	// argument is about SpaceSim's structure) and a positive θ (θ≤0
+	// keeps zero-score features, so no pair is prunable).
+	var blk *blockIndex
+	if opts.Blocking && opts.Sim == nil && opts.Theta > 0 {
+		blk = newBlockIndex(sigs, opts.Theta, attrs2)
+	}
+
+	workers := opts.Workers
+	if workers > len(entities1) {
+		workers = len(entities1)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type shard struct {
+		sets  map[links.Link]Set
+		index map[Key][]scoredPair
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := shard{
+				sets:  make(map[links.Link]Set),
+				index: make(map[Key][]scoredPair),
+			}
+
+			// The default similarity reads the shared table; a custom
+			// Sim gets a worker-local memoization cache (the function
+			// itself must tolerate concurrent calls).
+			var sim func(o1, o2 rdf.ID) float64
+			if opts.Sim == nil {
+				sim = sigs.sim
+			} else {
+				cache := make(map[[2]rdf.ID]float64)
+				sim = func(o1, o2 rdf.ID) float64 {
+					k := [2]rdf.ID{o1, o2}
+					if v, ok := cache[k]; ok {
+						return v
+					}
+					v := opts.Sim(d.Term(o1), d.Term(o2))
+					cache[k] = v
+					return v
+				}
+			}
+
+			var probe *blockProbe
+			if blk != nil {
+				probe = blk.newProbe()
+			}
+
+			// Round-robin sharding keeps workers balanced when entity
+			// cost varies systematically along entities1.
+			for i := w; i < len(entities1); i += workers {
+				e1 := entities1[i]
+				a1 := g1.Entity(e1)
+				if len(a1) == 0 {
+					continue
+				}
+				if probe != nil {
+					for _, i2 := range probe.candidates(a1) {
+						buildPair(res.sets, res.index, e1, entities2[i2], a1, attrs2[i2], opts.Theta, sim)
+					}
+				} else {
+					for i2, e2 := range entities2 {
+						buildPair(res.sets, res.index, e1, e2, a1, attrs2[i2], opts.Theta, sim)
+					}
+				}
+			}
+			shards[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge. Shard set maps are disjoint (entities1 is partitioned), and
+	// the per-key sort below is a total order, so concatenation order is
+	// immaterial.
+	for _, res := range shards {
+		for l, set := range res.sets {
+			sp.sets[l] = set
+		}
+		for k, ps := range res.index {
+			sp.index[k] = append(sp.index[k], ps...)
+		}
+	}
+	for k := range sp.index {
+		sortPairs(sp.index[k])
+	}
+	return sp
+}
+
+// buildPair scores one (e1, e2) pair and records it if any feature
+// survives θ-filtering.
+func buildPair(sets map[links.Link]Set, index map[Key][]scoredPair, e1, e2 rdf.ID, a1, a2 []rdf.Attribute, theta float64, sim func(o1, o2 rdf.ID) float64) {
+	if len(a2) == 0 {
+		return
+	}
+	set := buildSet(a1, a2, theta, sim)
+	if len(set) == 0 {
+		return
+	}
+	l := links.Link{E1: e1, E2: e2}
+	sets[l] = set
+	for _, f := range set {
+		index[f.Key] = append(index[f.Key], scoredPair{score: f.Score, link: l})
+	}
+}

@@ -1,0 +1,172 @@
+package feature
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"alex/internal/rdf"
+	"alex/internal/similarity"
+	"alex/internal/synth"
+)
+
+// testScale keeps the exhaustive per-profile equivalence tests fast
+// enough to run under -race: the largest profile (dbpedia-opencyc,
+// 2400×1500) shrinks to 120×75.
+const testScale = 0.05
+
+// sameSpace asserts two spaces are identical in every observable and
+// internal respect: the unfiltered size, the per-link feature sets, and
+// the per-feature sorted index (order included — FindInRange answer
+// order must not depend on how the space was built).
+func sameSpace(t *testing.T, label string, got, want *Space) {
+	t.Helper()
+	if got.TotalPairs != want.TotalPairs {
+		t.Fatalf("%s: TotalPairs = %d, want %d", label, got.TotalPairs, want.TotalPairs)
+	}
+	if !reflect.DeepEqual(got.sets, want.sets) {
+		t.Fatalf("%s: feature sets differ (got %d links, want %d)", label, len(got.sets), len(want.sets))
+	}
+	if !reflect.DeepEqual(got.index, want.index) {
+		t.Fatalf("%s: index differs (got %d keys, want %d)", label, len(got.index), len(want.index))
+	}
+}
+
+// TestBuildDeterministic is the regression test for the historical
+// nondeterministic tie ordering in Space.index: building the same space
+// twice must produce byte-identical indexes, map iteration order
+// notwithstanding.
+func TestBuildDeterministic(t *testing.T) {
+	prof, _ := synth.ProfileByName("dbpedia-nytimes")
+	ds := synth.Generate(prof.Scale(testScale))
+	opts := Options{Theta: DefaultTheta, Workers: 4}
+	a := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, opts)
+	b := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, opts)
+	if a.Len() == 0 {
+		t.Fatal("space is empty; test proves nothing")
+	}
+	sameSpace(t, "second build", b, a)
+}
+
+// TestParallelMatchesSerial checks the tentpole determinism claim on
+// every synth profile: a Workers:8 build is identical to Workers:1.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, prof := range synth.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			ds := synth.Generate(prof.Scale(testScale))
+			serial := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: DefaultTheta, Workers: 1})
+			parallel := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: DefaultTheta, Workers: 8})
+			if serial.Len() == 0 {
+				t.Fatal("space is empty; test proves nothing")
+			}
+			sameSpace(t, "workers=8", parallel, serial)
+		})
+	}
+}
+
+// TestBlockedMatchesUnblocked checks the θ-unreachability argument
+// exhaustively: on every synth profile and several thresholds, the
+// blocked space is identical to the unblocked one.
+func TestBlockedMatchesUnblocked(t *testing.T) {
+	for _, prof := range synth.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			ds := synth.Generate(prof.Scale(testScale))
+			for _, theta := range []float64{DefaultTheta, 0.6, 0.9} {
+				open := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: theta, Workers: 2})
+				blocked := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: theta, Workers: 2, Blocking: true})
+				sameSpace(t, fmt.Sprintf("blocked θ=%g", theta), blocked, open)
+			}
+		})
+	}
+}
+
+// TestSharedSigTable checks that supplying a precomputed table (as
+// core.New does, one table across all partitions) changes nothing.
+func TestSharedSigTable(t *testing.T) {
+	prof, _ := synth.ProfileByName("opencyc-drugbank")
+	ds := synth.Generate(prof.Scale(testScale))
+	own := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: DefaultTheta, Workers: 2})
+	shared := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2,
+		Options{Theta: DefaultTheta, Workers: 2, Sigs: NewSigTable(ds.Dict)})
+	sameSpace(t, "shared table", shared, own)
+}
+
+// TestThetaSentinel pins the Options.Theta contract: negative means
+// "unset" (DefaultTheta applies), zero is an honest θ=0 that keeps
+// zero-score features instead of silently becoming 0.3.
+func TestThetaSentinel(t *testing.T) {
+	prof, _ := synth.ProfileByName("dbpedia-lexvo")
+	ds := synth.Generate(prof.Scale(testScale))
+	build := func(theta float64) *Space {
+		return Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2, Options{Theta: theta, Workers: 2})
+	}
+	sameSpace(t, "Theta:-1 vs DefaultTheta", build(-1), build(DefaultTheta))
+	zero := build(0)
+	if zero.Len() <= build(DefaultTheta).Len() {
+		t.Fatalf("explicit θ=0 filtered the space like the default did (len %d)", zero.Len())
+	}
+	// θ=0 keeps every pair where both sides have attributes.
+	for l, set := range zero.sets {
+		for _, f := range set {
+			if f.Score < 0 {
+				t.Fatalf("link %v feature %v has negative score %g", l, f.Key, f.Score)
+			}
+		}
+	}
+}
+
+// TestCustomSimParallel checks that a user-supplied Sim function is
+// deterministic across worker counts and that Blocking is ignored with
+// it (the θ-unreachability argument only holds for the built-in
+// similarity).
+func TestCustomSimParallel(t *testing.T) {
+	prof, _ := synth.ProfileByName("dbpedia-dogfood")
+	ds := synth.Generate(prof.Scale(testScale))
+	sim := func(a, b rdf.Term) float64 { return similarity.SpaceSim(a, b) }
+	serial := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2,
+		Options{Theta: DefaultTheta, Workers: 1, Sim: sim})
+	parallel := Build(ds.G1, ds.G2, ds.Entities1, ds.Entities2,
+		Options{Theta: DefaultTheta, Workers: 8, Sim: sim, Blocking: true})
+	if serial.Len() == 0 {
+		t.Fatal("space is empty; test proves nothing")
+	}
+	sameSpace(t, "custom sim workers=8 blocking=true", parallel, serial)
+}
+
+func TestPrefixLen(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+		want  int
+	}{
+		{0, 0.3, 0},
+		{1, 0.3, 1},
+		{10, 0.3, 8},
+		{10, 0.9, 2},
+		{10, 1.0, 1},
+		{10, 1.5, 0},
+		{40, 0.3, 29},
+	} {
+		if got := prefixLen(tc.n, tc.theta); got != tc.want {
+			t.Errorf("prefixLen(%d, %g) = %d, want %d", tc.n, tc.theta, got, tc.want)
+		}
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	vals := []float64{-1e300, -12345.6, -10, -0.1, 0, 0.1, 9.99, 10, 123456.7, 1e300}
+	for i := 1; i < len(vals); i++ {
+		if bucketOf(vals[i-1], 10) > bucketOf(vals[i], 10) {
+			t.Errorf("bucketOf not monotone at %g vs %g", vals[i-1], vals[i])
+		}
+	}
+	// Values within one window land in adjacent buckets.
+	for _, d := range []float64{0, 1, 4.9, 9.9} {
+		a, b := bucketOf(100, 10), bucketOf(100+d, 10)
+		if b-a > 1 {
+			t.Errorf("Δ=%g spans %d buckets", d, b-a)
+		}
+	}
+}

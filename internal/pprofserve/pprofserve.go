@@ -1,0 +1,37 @@
+// Package pprofserve exposes the net/http/pprof profiling endpoints on
+// an opt-in listener. The long-running daemon (alexd) and the
+// experiment driver (alexbench) both take a -pprof flag; profiling is
+// off unless the flag is set, and the profile server never shares a
+// listener with the serving API.
+package pprofserve
+
+import (
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+)
+
+// Start serves the pprof endpoints on addr in a background goroutine
+// and returns the address actually listened on (useful with ":0").
+// An empty addr is a no-op. Listen errors are returned immediately so a
+// bad -pprof value fails fast; later Serve errors are logged. The
+// goroutine lives for the rest of the process — profiling has no
+// shutdown sequence.
+func Start(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// DefaultServeMux carries the /debug/pprof handlers from the
+		// net/http/pprof import above.
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
