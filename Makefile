@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query clean
 
 all: verify
 
@@ -35,7 +35,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench: bench-space
+bench: bench-space bench-query
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-space runs the feature-space construction scaling benchmark
@@ -45,6 +45,14 @@ bench-space:
 	$(GO) test -run '^$$' -bench '^BenchmarkSpaceBuild$$' -benchmem \
 		-cpu=1,2,4,8 ./internal/feature | \
 		$(GO) run ./cmd/benchjson -out BENCH_space.json
+
+# bench-query runs the federated query read-path benchmark: the legacy
+# serial evaluator vs the fast path with cold and pre-warmed plan
+# caches, across -cpu worker counts. Results land in BENCH_query.json.
+bench-query:
+	$(GO) test -run '^$$' -bench '^BenchmarkFederatedQuery$$' -benchmem \
+		-cpu=1,2,4,8 ./internal/federation | \
+		$(GO) run ./cmd/benchjson -out BENCH_query.json
 
 clean:
 	$(GO) clean ./...

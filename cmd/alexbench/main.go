@@ -57,6 +57,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "feedback oracle seed")
 	csvDir := flag.String("csv", "", "also write per-episode series as CSV files into this directory")
 	spaceWorkers := flag.Int("space-workers", 0, "goroutines per feature-space build (0 = GOMAXPROCS)")
+	queryWorkers := flag.Int("query-workers", 0, "per-query federation parallelism (0 = GOMAXPROCS)")
 	blocking := flag.Bool("block", false, "enable candidate blocking during space construction")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -82,6 +83,7 @@ func main() {
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Mutate: func(c *core.Config) {
 		c.SpaceWorkers = *spaceWorkers
 		c.SpaceBlocking = *blocking
+		c.QueryWorkers = *queryWorkers
 	}}
 	for _, id := range ids {
 		start := time.Now()

@@ -63,6 +63,8 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive source failures that open its circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
 	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
+	queryWorkers := flag.Int("query-workers", 0, "per-query evaluation parallelism (0 = GOMAXPROCS)")
+	planCache := flag.Int("plan-cache", 0, "compiled query plans kept in the LRU cache (0 = default)")
 	flag.Parse()
 
 	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
@@ -145,6 +147,8 @@ func main() {
 		DrainTimeout:    *drainTimeout,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
+		QueryWorkers:    *queryWorkers,
+		PlanCacheSize:   *planCache,
 		Resilience: federation.Resilience{
 			SourceTimeout: *sourceTimeout,
 			Retries:       *sourceRetries,

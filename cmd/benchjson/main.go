@@ -6,9 +6,9 @@
 //	    go run ./cmd/benchjson -out BENCH_space.json
 //
 // Each benchmark result line becomes one JSON record with the metrics
-// Go reports: ns/op always, plus pairs/s, B/op and allocs/op when the
-// benchmark emits them. The -cpu suffix of the benchmark name is parsed
-// into its own field so scaling rows are directly comparable.
+// Go reports: ns/op always, plus pairs/s, queries/s, B/op and allocs/op
+// when the benchmark emits them. The -cpu suffix of the benchmark name
+// is parsed into its own field so scaling rows are directly comparable.
 package main
 
 import (
@@ -23,13 +23,14 @@ import (
 
 // Row is one benchmark result.
 type Row struct {
-	Name        string  `json:"name"`
-	CPUs        int     `json:"cpus"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name          string  `json:"name"`
+	CPUs          int     `json:"cpus"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	PairsPerSec   float64 `json:"pairs_per_sec,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -97,6 +98,8 @@ func parseLine(line string) (Row, bool) {
 			r.NsPerOp = v
 		case "pairs/s":
 			r.PairsPerSec = v
+		case "queries/s":
+			r.QueriesPerSec = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":

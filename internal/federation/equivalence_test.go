@@ -1,0 +1,316 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"alex/internal/links"
+	"alex/internal/rdf"
+	"alex/internal/synth"
+)
+
+// The equivalence harness is the proof obligation of the fast read
+// path: every evaluator configuration — worker count × join reordering
+// × provenance representation — must produce results byte-identical to
+// the legacy serial evaluator (Workers:1, NoReorder, LegacyProvenance)
+// on every test world and query shape. "Byte-identical" is judged on
+// the canonical serialization of a ResultSet (rows sorted together
+// with their provenance): the engine has never guaranteed a row order
+// beyond ORDER BY — Go map iteration already varies it run to run —
+// so the solution multiset, per-solution provenance, Ask and Degraded
+// are the semantics, and those must match exactly.
+
+// legacyOptions is the pre-PR-5 evaluator, the reference semantics.
+var legacyOptions = Options{Workers: 1, NoReorder: true, LegacyProvenance: true}
+
+// evalConfigs enumerates the configuration lattice under test.
+func evalConfigs() []Options {
+	var out []Options
+	for _, w := range []int{1, 2, 3, 8} {
+		for _, noReorder := range []bool{false, true} {
+			for _, legacyProv := range []bool{false, true} {
+				out = append(out, Options{Workers: w, NoReorder: noReorder, LegacyProvenance: legacyProv})
+			}
+		}
+	}
+	return out
+}
+
+func optionsLabel(o Options) string {
+	return fmt.Sprintf("w%d_reorder=%v_cow=%v", o.Workers, !o.NoReorder, !o.LegacyProvenance)
+}
+
+// withOptions returns a shallow copy of f running under o, so one
+// world can be queried under every configuration without rebuilding.
+func withOptions(f *Federator, o Options) *Federator {
+	cp := *f
+	cp.opts = o
+	return &cp
+}
+
+// canonicalResult serializes a ResultSet into a form where semantic
+// equality is string equality: header, Ask, sorted Degraded (already
+// sorted by the engine), and the rows sorted lexicographically with
+// each row's bindings in Vars order and its provenance links sorted.
+func canonicalResult(rs *ResultSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vars=%v\nask=%v\ndegraded=%v\n", rs.Vars, rs.Ask, rs.Degraded)
+	rows := make([]string, 0, len(rs.Rows))
+	for _, r := range rs.Rows {
+		var rb strings.Builder
+		for _, v := range rs.Vars {
+			if t, ok := r.Binding[v]; ok {
+				fmt.Fprintf(&rb, "?%s=%s|", v, t.String())
+			} else {
+				fmt.Fprintf(&rb, "?%s=<unbound>|", v)
+			}
+		}
+		rb.WriteString(" used=")
+		for _, l := range r.Used.Slice() { // Slice is sorted (E1, E2)
+			fmt.Fprintf(&rb, "(%d,%d)", l.E1, l.E2)
+		}
+		rows = append(rows, rb.String())
+	}
+	sort.Strings(rows)
+	for _, r := range rows {
+		sb.WriteString(r)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// assertAllConfigsMatch runs each query under the legacy reference and
+// every configuration and requires canonical equality.
+func assertAllConfigsMatch(t *testing.T, f *Federator, queries map[string]string) {
+	t.Helper()
+	for name, q := range queries {
+		q := q
+		t.Run(name, func(t *testing.T) {
+			ref, err := withOptions(f, legacyOptions).Query(q)
+			if err != nil {
+				t.Fatalf("legacy evaluator: %v", err)
+			}
+			want := canonicalResult(ref)
+			for _, o := range evalConfigs() {
+				got, err := withOptions(f, o).Query(q)
+				if err != nil {
+					t.Fatalf("%s: %v", optionsLabel(o), err)
+				}
+				if c := canonicalResult(got); c != want {
+					t.Errorf("%s diverges from legacy:\n--- legacy ---\n%s--- %s ---\n%s",
+						optionsLabel(o), want, optionsLabel(o), c)
+				}
+			}
+		})
+	}
+}
+
+// newsQueries exercises every query shape over the news world.
+func newsQueries() map[string]string {
+	return map[string]string{
+		"join-across-sameas": `SELECT ?article WHERE {
+			?p <http://kb/award> "NBA MVP 2013" .
+			?article <http://news/about> ?p .
+		}`,
+		"single-source": `SELECT ?p WHERE { ?p <http://kb/award> "NBA MVP 2013" . }`,
+		"selective-first-reorder": `SELECT ?name ?article WHERE {
+			?p <http://kb/name> ?name .
+			?article <http://news/about> ?p .
+			?p <http://kb/award> "NBA MVP 2013" .
+		}`,
+		"optional-unbound": `SELECT ?p ?name WHERE {
+			?p <http://kb/award> ?a .
+			OPTIONAL { ?p <http://kb/name> ?name . }
+		}`,
+		"union": `SELECT ?x WHERE {
+			{ ?x <http://kb/award> "NBA MVP 2013" . } UNION { ?x <http://kb/award> "NBA MVP 2003" . }
+		}`,
+		"filter": `SELECT ?p ?a WHERE {
+			?p <http://kb/award> ?a .
+			FILTER(?a != "NBA MVP 2003")
+		}`,
+		"distinct-provenance-merge": `SELECT DISTINCT ?p WHERE {
+			?p <http://kb/award> "NBA MVP 2013" .
+			?article <http://news/about> ?p .
+		}`,
+		"order-by": `SELECT ?p ?a WHERE { ?p <http://kb/award> ?a . } ORDER BY ?a`,
+		"ask":      `ASK { ?a <http://news/about> ?p . ?p <http://kb/award> "NBA MVP 2013" . }`,
+		"aggregate-count": `SELECT ?p (COUNT(?article) AS ?n) WHERE {
+			?p <http://kb/award> "NBA MVP 2013" .
+			?article <http://news/about> ?p .
+		} GROUP BY ?p`,
+		"unbound-predicate": `SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`,
+		"unbound-predicate-join": `SELECT ?p ?o ?article WHERE {
+			?p <http://kb/award> "NBA MVP 2013" .
+			?article ?rel ?p .
+			?article ?rel ?o .
+		}`,
+	}
+}
+
+func TestEquivalenceNewsWorld(t *testing.T) {
+	f, _, _ := newsWorld(t)
+	assertAllConfigsMatch(t, f, newsQueries())
+}
+
+func TestEquivalenceChainWorld(t *testing.T) {
+	f, _ := chainWorld(t)
+	assertAllConfigsMatch(t, f, map[string]string{
+		"multi-hop": `SELECT ?name ?price WHERE {
+			?p <http://b/label> "Aspirin" .
+			?p <http://a/name> ?name .
+			?p <http://c/price> ?price .
+		}`,
+		"multi-hop-reordered-source": `SELECT ?name ?price WHERE {
+			?p <http://a/name> ?name .
+			?p <http://c/price> ?price .
+			?p <http://b/label> "Aspirin" .
+		}`,
+		"optional-cross-source": `SELECT ?p ?name ?price WHERE {
+			?p <http://b/label> "Aspirin" .
+			OPTIONAL { ?p <http://a/name> ?name . }
+			OPTIONAL { ?p <http://c/price> ?price . }
+		}`,
+		"scan-all": `SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`,
+	})
+}
+
+// TestEquivalenceDegradedWorld pins down that Degraded reporting is a
+// plan-level decision: with ds2's breaker held open, every evaluator
+// configuration reports the same Degraded list and the same partial
+// rows, regardless of join order or worker count.
+func TestEquivalenceDegradedWorld(t *testing.T) {
+	dict := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(dict)
+	g2 := rdf.NewGraphWithDict(dict)
+	p := rdf.IRI("http://x/p")
+	q := rdf.IRI("http://x/q")
+	g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/a"), P: p, O: rdf.Literal("v1")})
+	g1.Insert(rdf.Triple{S: rdf.IRI("http://ds1/a"), P: q, O: rdf.Literal("w1")})
+	g2.Insert(rdf.Triple{S: rdf.IRI("http://ds2/b"), P: p, O: rdf.Literal("v2")})
+
+	f := New(dict)
+	f.SetResilience(Resilience{
+		SourceTimeout: 20 * time.Millisecond,
+		Retries:       0,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    time.Millisecond,
+		Breaker:       BreakerConfig{Failures: 1, Cooldown: time.Hour, Successes: 1},
+	})
+	if err := f.AddSource("ds1", g1); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Add(Source{Name: "ds2", Graph: g2, Access: func(context.Context) error {
+		return errors.New("down")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetLinks(links.NewSet())
+
+	// One failing query trips the breaker (threshold 1, long cooldown),
+	// so every run below sees a stably open circuit.
+	if _, err := f.Query(`SELECT ?s WHERE { ?s <http://x/p> ?o . }`); err != nil {
+		t.Fatal(err)
+	}
+
+	assertAllConfigsMatch(t, f, map[string]string{
+		"degraded-join": `SELECT ?s ?o ?w WHERE {
+			?s <http://x/p> ?o .
+			?s <http://x/q> ?w .
+		}`,
+		"degraded-scan": `SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }`,
+	})
+}
+
+// TestEquivalenceSynthProfiles runs the harness over down-scaled synth
+// dataset pairs with the ground-truth links installed, covering dense
+// sameAs fan-out and realistic value distributions.
+func TestEquivalenceSynthProfiles(t *testing.T) {
+	profiles := []string{"dbpedia-nytimes", "dbpedia-drugbank"}
+	if testing.Short() {
+		profiles = profiles[:1]
+	}
+	for _, name := range profiles {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, ok := synth.ProfileByName(name)
+			if !ok {
+				t.Fatalf("unknown profile %q", name)
+			}
+			ds := synth.Generate(prof.Scale(0.1))
+			f := New(ds.Dict)
+			if err := f.AddSource("ds1", ds.G1); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.AddSource("ds2", ds.G2); err != nil {
+				t.Fatal(err)
+			}
+			f.SetLinks(ds.GroundTruth)
+
+			assertAllConfigsMatch(t, f, map[string]string{
+				"cross-source-join": `SELECT ?e ?n ?g WHERE {
+					?e <http://ds1.example.org/onto/label> ?n .
+					?e <http://ds2.example.org/prop/group> ?g .
+				}`,
+				"selective-category": `SELECT ?e ?n WHERE {
+					?e <http://ds1.example.org/onto/label> ?n .
+					?e <http://ds1.example.org/onto/category> ?c .
+					?e <http://ds2.example.org/prop/group> ?c .
+				}`,
+				"optional-cross": `SELECT ?e ?n ?b WHERE {
+					?e <http://ds1.example.org/onto/label> ?n .
+					OPTIONAL { ?e <http://ds2.example.org/prop/born> ?b . }
+				}`,
+				"filtered-join": `SELECT ?e ?g WHERE {
+					?e <http://ds2.example.org/prop/group> ?g .
+					?e <http://ds1.example.org/onto/type> ?ty .
+					FILTER(?g != "none")
+				}`,
+				"distinct-groups": `SELECT DISTINCT ?g WHERE {
+					?e <http://ds1.example.org/onto/label> ?n .
+					?e <http://ds2.example.org/prop/group> ?g .
+				} ORDER BY ?g`,
+				"count-per-group": `SELECT ?g (COUNT(?e) AS ?n) WHERE {
+					?e <http://ds1.example.org/onto/type> ?ty .
+					?e <http://ds2.example.org/prop/group> ?g .
+				} GROUP BY ?g`,
+			})
+		})
+	}
+}
+
+// TestEquivalenceIsSensitive guards the harness itself: canonical
+// serialization must distinguish result sets that differ in rows,
+// provenance, or degradation, or the equality assertions above would
+// be vacuous.
+func TestEquivalenceIsSensitive(t *testing.T) {
+	base := &ResultSet{Vars: []string{"x"}, Rows: []Row{
+		{Binding: map[string]rdf.Term{"x": rdf.Literal("a")}, Used: links.NewSet()},
+	}}
+	rowDiff := &ResultSet{Vars: []string{"x"}, Rows: []Row{
+		{Binding: map[string]rdf.Term{"x": rdf.Literal("b")}, Used: links.NewSet()},
+	}}
+	provDiff := &ResultSet{Vars: []string{"x"}, Rows: []Row{
+		{Binding: map[string]rdf.Term{"x": rdf.Literal("a")}, Used: links.NewSet(links.Link{E1: 1, E2: 2})},
+	}}
+	degradedDiff := &ResultSet{Vars: []string{"x"}, Rows: base.Rows, Degraded: []string{"ds2"}}
+	unboundDiff := &ResultSet{Vars: []string{"x"}, Rows: []Row{
+		{Binding: map[string]rdf.Term{}, Used: links.NewSet()},
+	}}
+	for name, other := range map[string]*ResultSet{
+		"row":      rowDiff,
+		"prov":     provDiff,
+		"degraded": degradedDiff,
+		"unbound":  unboundDiff,
+	} {
+		if canonicalResult(base) == canonicalResult(other) {
+			t.Errorf("canonicalResult conflates base with %s-differing result", name)
+		}
+	}
+}

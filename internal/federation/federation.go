@@ -6,6 +6,15 @@
 // sameAs link, and the answer row records every link it used. Approving
 // or rejecting an answer therefore becomes approving or rejecting those
 // links — the feedback signal ALEX consumes.
+//
+// The read path is built for serving: queries are compiled into
+// link-independent plans (selectivity-ordered joins, see plan.go)
+// that an LRU cache shares across WithLinks snapshots (plancache.go),
+// intermediate rows fan out across workers with an order-preserving
+// merge (parallel.go), and per-row provenance is a copy-on-write
+// links.Frozen chain materialized only at emit time (prov.go). Every
+// layer is answer-identical to the legacy serial evaluator, which
+// remains reachable via Options for the equivalence harness.
 package federation
 
 import (
@@ -35,6 +44,14 @@ type Row struct {
 	Used    links.Set
 }
 
+// irow is an intermediate row during evaluation. Provenance is carried
+// behind the prov interface so the evaluator is agnostic to the
+// representation (copy-on-write chain vs legacy cloned Set).
+type irow struct {
+	b    sparql.Binding
+	used prov
+}
+
 // ResultSet holds federated query solutions. For ASK queries Rows is
 // empty and Ask carries the answer. Degraded lists the sources that
 // were skipped during evaluation (open circuit, access failure or
@@ -60,6 +77,9 @@ type Federator struct {
 	// same maps an entity to its sameAs edges. Each edge keeps the
 	// canonical Link (E1 from the first dataset) for provenance.
 	same map[rdf.ID][]edge
+	// linkCount is the number of distinct installed links, maintained
+	// on SetLinks/WithLinks so LinkCount is O(1) on the /links path.
+	linkCount int
 	// predSources is the source-selection index (the role FedX's SPARQL
 	// ASK probes play): for each predicate ID, which sources hold at
 	// least one triple with it. Patterns with a bound predicate are
@@ -71,6 +91,12 @@ type Federator struct {
 	// breaker state survives snapshot publication.
 	res    Resilience
 	guards []*guard
+	// opts tunes the evaluator (workers, join order, provenance
+	// representation); see plan.go.
+	opts Options
+	// plans, when non-nil, caches compiled plans by query text; shared
+	// with WithLinks snapshots because plans are link-independent.
+	plans *PlanCache
 }
 
 type edge struct {
@@ -140,24 +166,29 @@ func (f *Federator) Sources() []Source { return f.sources }
 // use WithLinks to publish an immutable snapshot instead.
 func (f *Federator) SetLinks(ls links.Set) {
 	f.same = buildSameAs(ls)
+	f.linkCount = ls.Len()
 }
 
 // WithLinks returns a new Federator over the same dictionary and sources
-// with the given sameAs link set installed. The sources and the
-// source-selection index are shared (they are immutable after
-// registration); only the resolution map is fresh. The returned
-// Federator is a snapshot: treat it as immutable after publication —
-// never call SetLinks or AddSource on it — and concurrent Query calls
-// are then safe without locking. This is the read path of the alexd
+// with the given sameAs link set installed. The sources, the
+// source-selection index and the plan cache are shared (sources and
+// index are immutable after registration; plans are link-independent);
+// only the resolution map is fresh. The returned Federator is a
+// snapshot: treat it as immutable after publication — never call
+// SetLinks or AddSource on it — and concurrent Query calls are then
+// safe without locking. This is the read path of the alexd
 // single-writer architecture.
 func (f *Federator) WithLinks(ls links.Set) *Federator {
 	return &Federator{
 		dict:        f.dict,
 		sources:     f.sources,
 		same:        buildSameAs(ls),
+		linkCount:   ls.Len(),
 		predSources: f.predSources,
 		res:         f.res,
 		guards:      f.guards,
+		opts:        f.opts,
+		plans:       f.plans,
 	}
 }
 
@@ -171,17 +202,9 @@ func buildSameAs(ls links.Set) map[rdf.ID][]edge {
 }
 
 // LinkCount returns the number of distinct sameAs links installed.
-func (f *Federator) LinkCount() int {
-	n := 0
-	for id, edges := range f.same {
-		for _, e := range edges {
-			if e.link.E1 == id {
-				n++
-			}
-		}
-	}
-	return n
-}
+// O(1): the count is maintained by SetLinks/WithLinks, since this
+// accessor sits on the hot /links handler path.
+func (f *Federator) LinkCount() int { return f.linkCount }
 
 // Query parses and evaluates a federated SELECT query.
 func (f *Federator) Query(query string) (*ResultSet, error) {
@@ -189,13 +212,36 @@ func (f *Federator) Query(query string) (*ResultSet, error) {
 }
 
 // QueryContext parses and evaluates a federated query; ctx bounds the
-// per-source access probes (and their retries).
+// per-source access probes (and their retries). When a plan cache is
+// installed (SetPlanCache), the parse and join-ordering work is served
+// from the cache for repeated query texts.
 func (f *Federator) QueryContext(ctx context.Context, query string) (*ResultSet, error) {
+	p, err := f.planFor(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.evalPlan(ctx, p)
+}
+
+// planFor returns a compiled plan for the query text, consulting the
+// plan cache when one is installed. Parse failures are returned, not
+// cached: malformed queries are cheap to re-reject and must not evict
+// useful plans.
+func (f *Federator) planFor(query string) (*plan, error) {
+	if f.plans != nil {
+		if p := f.plans.get(query); p != nil {
+			return p, nil
+		}
+	}
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return f.EvalContext(ctx, q)
+	p := f.planQuery(q)
+	if f.plans != nil {
+		f.plans.put(query, p)
+	}
+	return p, nil
 }
 
 // Eval evaluates a parsed query across the federation.
@@ -206,31 +252,47 @@ func (f *Federator) Eval(q *sparql.Query) (*ResultSet, error) {
 // EvalContext evaluates a parsed query across the federation. Sources
 // whose access fails under the resilience policy are skipped and
 // reported in ResultSet.Degraded; the evaluation itself never fails
-// because of an unavailable source.
+// because of an unavailable source. The query is planned on every
+// call — the plan cache only applies to QueryContext, which has the
+// query text to key it by.
 func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSet, error) {
+	return f.evalPlan(ctx, f.planQuery(q))
+}
+
+// evalPlan runs a compiled plan: probe the plan's sources (in
+// parallel, so Degraded is decided before evaluation and independent
+// of join order), evaluate the pattern tree with the configured worker
+// count, then finalize through the sparql engine and re-associate
+// per-row provenance.
+func (f *Federator) evalPlan(ctx context.Context, p *plan) (*ResultSet, error) {
 	if len(f.sources) == 0 {
 		return nil, fmt.Errorf("federation: no sources registered")
 	}
-	ec := newEvalCtx(ctx)
-	rows, err := f.evalGroup(ec, q.Where, []Row{{Binding: sparql.Binding{}, Used: links.NewSet()}})
-	if err != nil {
-		return nil, err
+	ec := f.newEvalCtx(ctx, p.probe)
+	workers := f.opts.workerCount()
+	var empty prov
+	if f.opts.LegacyProvenance {
+		empty = cloneProv{s: links.NewSet()}
+	} else {
+		empty = cowProv{}
 	}
-	// Project/sort/limit via the sparql engine, keeping Used aligned by
-	// evaluating on indices.
+	rows := f.evalGroup(ec, p, p.q.Where, []irow{{b: sparql.Binding{}, used: empty}}, workers)
+
+	// Project/sort/limit via the sparql engine, keeping provenance
+	// aligned by evaluating on indices.
 	bindings := make([]sparql.Binding, len(rows))
 	for i, r := range rows {
-		bindings[i] = r.Binding
+		bindings[i] = r.b
 	}
-	res, err := sparql.Finalize(q, bindings)
+	res, err := sparql.Finalize(p.q, bindings)
 	if err != nil {
 		return nil, err
 	}
-	if q.Form == sparql.FormAsk {
+	if p.q.Form == sparql.FormAsk {
 		return &ResultSet{Ask: res.Ask, Degraded: ec.degradedNames(f)}, nil
 	}
 	out := &ResultSet{Vars: res.Vars, Degraded: ec.degradedNames(f)}
-	if len(q.Aggregates) > 0 {
+	if len(p.q.Aggregates) > 0 {
 		// An aggregate row depends on every solution that fed its
 		// group; attributing provenance per group would need the
 		// grouping keys of each input row, so attach the union — any
@@ -238,7 +300,7 @@ func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSe
 		// contributed to it.
 		all := links.NewSet()
 		for _, r := range rows {
-			for l := range r.Used {
+			for l := range r.used.set() {
 				all.Add(l)
 			}
 		}
@@ -251,18 +313,18 @@ func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSe
 	// slice; match rows by identity of the projected bindings.
 	used := make(map[string]links.Set)
 	for i, b := range bindings {
-		k := projectionKey(res.Vars, b)
+		k := f.projectionKey(res.Vars, b)
 		if prev, ok := used[k]; ok {
 			// merge provenance of duplicate solutions
-			for l := range rows[i].Used {
+			for l := range rows[i].used.set() {
 				prev.Add(l)
 			}
 		} else {
-			used[k] = rows[i].Used.Clone()
+			used[k] = rows[i].used.set()
 		}
 	}
 	for _, b := range res.Rows {
-		k := projectionKey(res.Vars, b)
+		k := f.projectionKey(res.Vars, b)
 		u := used[k]
 		if u == nil {
 			u = links.NewSet()
@@ -272,76 +334,88 @@ func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSe
 	return out, nil
 }
 
-func projectionKey(vars []string, b sparql.Binding) string {
-	key := ""
+// projectionKey encodes the projected bindings of a row as a map key.
+// Terms are encoded by dictionary ID, with distinct tags for an
+// unbound variable (0x00), a known term (0x01 + little-endian ID) and
+// the defensive fallback of a term missing from the dictionary (0x02 +
+// length-prefixed rendering), so an unbound variable can never collide
+// with any bound value — including literals containing NUL bytes,
+// which the old Term.String()+"\x00" concatenation could not separate.
+func (f *Federator) projectionKey(vars []string, b sparql.Binding) string {
+	buf := make([]byte, 0, 5*len(vars))
 	for _, v := range vars {
-		if t, ok := b[v]; ok {
-			key += t.String()
+		t, ok := b[v]
+		if !ok {
+			buf = append(buf, 0x00)
+			continue
 		}
-		key += "\x00"
+		if id, ok := f.dict.Lookup(t); ok {
+			buf = append(buf, 0x01, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			continue
+		}
+		s := t.String()
+		n := len(s)
+		buf = append(buf, 0x02, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		buf = append(buf, s...)
 	}
-	return key
+	return string(buf)
 }
 
-func (f *Federator) evalGroup(ec *evalCtx, grp *sparql.GroupGraphPattern, input []Row) ([]Row, error) {
+// evalGroup evaluates one group pattern over the input rows: triple
+// patterns in the plan's selectivity order, then union constructs,
+// optionals and filters — each stage fanned out across workers with an
+// order-preserving merge, so the output row order equals the serial
+// evaluator's. Nested groups reached through OPTIONAL run serially
+// (workers=1): the per-row fan-out already saturates the workers, and
+// nesting parallelism would only multiply goroutines.
+func (f *Federator) evalGroup(ec *evalCtx, p *plan, grp *sparql.GroupGraphPattern, input []irow, workers int) []irow {
 	rows := input
 
-	patterns := append([]sparql.TriplePattern(nil), grp.Triples...)
-	for _, tp := range patterns {
-		var next []Row
-		for _, r := range rows {
-			f.matchPattern(ec, tp, r, func(nr Row) {
-				next = append(next, nr)
-			})
-		}
-		rows = next
+	for _, ti := range p.order[grp] {
+		tp := grp.Triples[ti]
+		rows = mapRows(workers, rows, func(r irow, emit func(irow)) {
+			f.matchPattern(ec, tp, r, emit)
+		})
 		if len(rows) == 0 {
 			break
 		}
 	}
 
 	for _, alts := range grp.Unions {
-		var merged []Row
+		var merged []irow
 		for _, alt := range alts {
-			sub, err := f.evalGroup(ec, alt, rows)
-			if err != nil {
-				return nil, err
-			}
-			merged = append(merged, sub...)
+			merged = append(merged, f.evalGroup(ec, p, alt, rows, workers)...)
 		}
 		rows = merged
 	}
 
 	for _, opt := range grp.Optionals {
-		var next []Row
-		for _, r := range rows {
-			sub, err := f.evalGroup(ec, opt, []Row{r})
-			if err != nil {
-				return nil, err
-			}
+		opt := opt
+		rows = mapRows(workers, rows, func(r irow, emit func(irow)) {
+			sub := f.evalGroup(ec, p, opt, []irow{r}, 1)
 			if len(sub) == 0 {
-				next = append(next, r)
-			} else {
-				next = append(next, sub...)
+				emit(r)
+				return
 			}
-		}
-		rows = next
+			for _, nr := range sub {
+				emit(nr)
+			}
+		})
 	}
 
 	for _, flt := range grp.Filters {
-		var kept []Row
-		for _, r := range rows {
-			v, err := flt.Eval(r.Binding)
+		flt := flt
+		rows = mapRows(workers, rows, func(r irow, emit func(irow)) {
+			v, err := flt.Eval(r.b)
 			if err != nil {
-				continue
+				return // SPARQL expression error: filter is false
 			}
 			if ok, err := sparql.EffectiveBool(v); err == nil && ok {
-				kept = append(kept, r)
+				emit(r)
 			}
-		}
-		rows = kept
+		})
 	}
-	return rows, nil
+	return rows
 }
 
 // matchPattern matches tp against the relevant sources, extending row.
@@ -349,12 +423,12 @@ func (f *Federator) evalGroup(ec *evalCtx, grp *sparql.GroupGraphPattern, input 
 // equivalents are tried, and any equivalence used is recorded in the
 // row's provenance. Source selection: a pattern whose predicate is a
 // constant (or a variable already bound) only visits sources holding
-// that predicate. Sources that fail their availability probe are
-// skipped (the evaluation degrades instead of failing).
-func (f *Federator) matchPattern(ec *evalCtx, tp sparql.TriplePattern, row Row, emit func(Row)) {
-	if srcs, ok := f.selectSources(tp.P, row.Binding); ok {
+// that predicate. Sources that failed their upfront availability probe
+// are skipped (the evaluation degrades instead of failing).
+func (f *Federator) matchPattern(ec *evalCtx, tp sparql.TriplePattern, row irow, emit func(irow)) {
+	if srcs, ok := f.selectSources(tp.P, row.b); ok {
 		for _, si := range srcs {
-			if !f.sourceAvailable(ec, si) {
+			if !ec.available(si) {
 				continue
 			}
 			f.matchInSource(f.sources[si].Graph, tp, row, emit)
@@ -362,7 +436,7 @@ func (f *Federator) matchPattern(ec *evalCtx, tp sparql.TriplePattern, row Row, 
 		return
 	}
 	for si, src := range f.sources {
-		if !f.sourceAvailable(ec, si) {
+		if !ec.available(si) {
 			continue
 		}
 		f.matchInSource(src.Graph, tp, row, emit)
@@ -430,10 +504,10 @@ func (f *Federator) resolutions(g *rdf.Graph, n sparql.Node, b sparql.Binding) [
 	return out
 }
 
-func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row Row, emit func(Row)) {
-	ss := f.resolutions(g, tp.S, row.Binding)
-	ps := f.resolutions(g, tp.P, row.Binding)
-	os := f.resolutions(g, tp.O, row.Binding)
+func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row irow, emit func(irow)) {
+	ss := f.resolutions(g, tp.S, row.b)
+	ps := f.resolutions(g, tp.P, row.b)
+	os := f.resolutions(g, tp.O, row.b)
 	for _, rs := range ss {
 		for _, rp := range ps {
 			for _, ro := range os {
@@ -443,18 +517,9 @@ func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row Row
 	}
 }
 
-func (f *Federator) matchResolved(g *rdf.Graph, tp sparql.TriplePattern, row Row, rs, rp, ro resolved, emit func(Row)) {
+func (f *Federator) matchResolved(g *rdf.Graph, tp sparql.TriplePattern, row irow, rs, rp, ro resolved, emit func(irow)) {
 	g.ForEachMatchIDs(rs.id, rp.id, ro.id, rs.have, rp.have, ro.have, func(ms, mp, mo rdf.ID) bool {
-		nb := row.Binding.Copy()
-		if tp.S.IsVar && !rs.have {
-			nb[tp.S.Var] = g.Dict().Term(ms)
-		}
-		if tp.P.IsVar && !rp.have {
-			nb[tp.P.Var] = g.Dict().Term(mp)
-		}
-		if tp.O.IsVar && !ro.have {
-			nb[tp.O.Var] = g.Dict().Term(mo)
-		}
+		// Repeated-variable consistency before paying for the copy.
 		if tp.S.IsVar && tp.O.IsVar && tp.S.Var == tp.O.Var && ms != mo {
 			return true
 		}
@@ -464,13 +529,23 @@ func (f *Federator) matchResolved(g *rdf.Graph, tp sparql.TriplePattern, row Row
 		if tp.P.IsVar && tp.O.IsVar && tp.P.Var == tp.O.Var && mp != mo {
 			return true
 		}
-		used := row.Used.Clone()
+		nb := row.b.Copy()
+		if tp.S.IsVar && !rs.have {
+			nb[tp.S.Var] = g.Dict().Term(ms)
+		}
+		if tp.P.IsVar && !rp.have {
+			nb[tp.P.Var] = g.Dict().Term(mp)
+		}
+		if tp.O.IsVar && !ro.have {
+			nb[tp.O.Var] = g.Dict().Term(mo)
+		}
+		var crossed []links.Link
 		for _, r := range []resolved{rs, rp, ro} {
 			if r.link != nil {
-				used.Add(*r.link)
+				crossed = append(crossed, *r.link)
 			}
 		}
-		emit(Row{Binding: nb, Used: used})
+		emit(irow{b: nb, used: row.used.extend(crossed)})
 		return true
 	})
 }

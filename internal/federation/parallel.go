@@ -1,0 +1,67 @@
+package federation
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerCount resolves Options.Workers: 0 (or negative) means one
+// worker per CPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelThreshold is the minimum number of input rows worth
+// fanning out; below it goroutine startup dominates the row work.
+const parallelThreshold = 16
+
+// mapRows applies fn to every input row, collecting the rows fn emits,
+// and returns them in the exact order the serial loop would produce:
+// the input is split into contiguous chunks, one worker per chunk,
+// each worker appends to its own output slice, and the slices are
+// concatenated in chunk order. fn must be safe to call concurrently
+// and must only emit through its own emit argument. This is the same
+// deterministic-merge discipline the PR 4 space build uses: parallel
+// output is byte-identical to serial output by construction.
+func mapRows(workers int, in []irow, fn func(r irow, emit func(irow))) []irow {
+	if workers <= 1 || len(in) < parallelThreshold || len(in) < workers {
+		var out []irow
+		for _, r := range in {
+			fn(r, func(nr irow) { out = append(out, nr) })
+		}
+		return out
+	}
+
+	outs := make([][]irow, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(in) / workers
+		hi := (w + 1) * len(in) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, chunk []irow) {
+			defer wg.Done()
+			var out []irow
+			for _, r := range chunk {
+				fn(r, func(nr irow) { out = append(out, nr) })
+			}
+			outs[w] = out
+		}(w, in[lo:hi])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	merged := make([]irow, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}

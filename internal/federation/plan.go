@@ -1,0 +1,248 @@
+// Query planning for the federated read path. A plan is everything
+// about a query that does not depend on the current sameAs link set:
+// the parsed AST, a selectivity-based join order for every group
+// pattern, and the set of sources the query may touch (the probe set).
+// Plans are immutable after construction, which makes them safe to
+// share across concurrent queries and across WithLinks snapshots, and
+// therefore cacheable (see plancache.go).
+package federation
+
+import (
+	"sort"
+
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+)
+
+// Options tunes the federated evaluator. The zero value is the fast
+// path: selectivity-ordered joins, copy-on-write provenance, and one
+// worker per CPU. The legacy serial evaluator — written-order joins,
+// per-row Set cloning, single-threaded — is Options{Workers: 1,
+// NoReorder: true, LegacyProvenance: true}; it is kept callable so the
+// equivalence harness can prove the fast path answer-identical.
+type Options struct {
+	// Workers is the number of goroutines sharding intermediate rows in
+	// each evaluation stage. 0 means GOMAXPROCS; 1 is serial.
+	Workers int
+	// NoReorder disables selectivity-based join reordering and keeps
+	// triple patterns in written order.
+	NoReorder bool
+	// LegacyProvenance tracks provenance by cloning a mutable links.Set
+	// per intermediate row instead of extending an immutable
+	// links.Frozen chain.
+	LegacyProvenance bool
+}
+
+// SetOptions replaces the evaluator options. Not safe concurrently
+// with queries; set options before publishing a snapshot.
+func (f *Federator) SetOptions(o Options) { f.opts = o }
+
+// Opts returns the evaluator options in effect.
+func (f *Federator) Opts() Options { return f.opts }
+
+// plan is a compiled query: the AST plus per-group join orders and the
+// probe set. The AST itself is never mutated — join order lives in a
+// side table keyed by group identity — so planning works on
+// caller-owned queries and a cached plan can serve concurrent readers.
+type plan struct {
+	q *sparql.Query
+	// order maps each group pattern of q to the evaluation order of its
+	// Triples, as indices into grp.Triples.
+	order map[*sparql.GroupGraphPattern][]int
+	// probe lists the indexes of guarded sources this query may touch;
+	// they are probed in parallel before evaluation starts, which makes
+	// Degraded reporting independent of join order and worker count.
+	probe []int
+}
+
+// planQuery compiles q against the federator's source statistics.
+func (f *Federator) planQuery(q *sparql.Query) *plan {
+	p := &plan{q: q, order: make(map[*sparql.GroupGraphPattern][]int)}
+	probe := make(map[int]bool)
+	if q.Where != nil {
+		f.planGroup(q.Where, map[string]bool{}, p, probe)
+	}
+	for si := range probe {
+		p.probe = append(p.probe, si)
+	}
+	sort.Ints(p.probe)
+	return p
+}
+
+// planGroup orders one group's triples and recurses into its nested
+// groups. bound is the set of variables guaranteed bound when the
+// group starts evaluating; it is extended with the group's own triple
+// variables before recursing, because nested groups see those
+// bindings. Union alternatives do not extend bound for each other.
+func (f *Federator) planGroup(grp *sparql.GroupGraphPattern, bound map[string]bool, p *plan, probe map[int]bool) {
+	p.order[grp] = f.orderTriples(grp.Triples, bound, probe)
+
+	inner := copyBound(bound)
+	for _, tp := range grp.Triples {
+		for _, v := range tp.Vars() {
+			inner[v] = true
+		}
+	}
+	for _, alts := range grp.Unions {
+		for _, alt := range alts {
+			f.planGroup(alt, copyBound(inner), p, probe)
+		}
+		// After a UNION construct, only variables bound in every
+		// alternative are guaranteed bound. Tracking the intersection
+		// buys little for ordering, so conservatively keep inner as-is.
+	}
+	for _, opt := range grp.Optionals {
+		f.planGroup(opt, copyBound(inner), p, probe)
+	}
+}
+
+func copyBound(b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(b))
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// orderTriples returns a greedy selectivity order over patterns,
+// constrained so that every variable is first bound by the same
+// pattern as in written order. The constraint matters for answer
+// identity, not just determinism: a variable's bound value can differ
+// depending on which pattern binds it first (a direct match binds the
+// source's own IRI, a sameAs-resolved match binds the queried alias),
+// so reordering may only move a pattern ahead of another when doing so
+// cannot steal a variable's first binding. Formally: pattern i is
+// schedulable iff each of its not-yet-bound variables appears in no
+// unscheduled pattern j < i. The earliest unscheduled pattern is
+// always schedulable, so the greedy loop cannot deadlock. Among
+// schedulable patterns the one with the lowest estimated cardinality
+// runs first (bound-first heuristic: already-bound positions shrink
+// the estimate), with the written order as deterministic tie-break.
+//
+// orderTriples also folds every pattern's source selection into probe,
+// so the caller learns which sources the group may touch.
+func (f *Federator) orderTriples(tps []sparql.TriplePattern, bound map[string]bool, probe map[int]bool) []int {
+	order := make([]int, 0, len(tps))
+	for i, tp := range tps {
+		f.probeSet(tp, probe)
+		if f.opts.NoReorder {
+			order = append(order, i)
+		}
+	}
+	if f.opts.NoReorder {
+		return order
+	}
+
+	bound = copyBound(bound)
+	scheduled := make([]bool, len(tps))
+	for len(order) < len(tps) {
+		best, bestCost := -1, 0
+		for i, tp := range tps {
+			if scheduled[i] || !f.schedulable(tps, scheduled, i, bound) {
+				continue
+			}
+			cost := f.estimatePattern(tp, bound)
+			if best == -1 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		order = append(order, best)
+		scheduled[best] = true
+		for _, v := range tps[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// schedulable reports whether pattern i may run next without stealing
+// a variable's first binding from an earlier-written pattern.
+func (f *Federator) schedulable(tps []sparql.TriplePattern, scheduled []bool, i int, bound map[string]bool) bool {
+	for _, v := range tps[i].Vars() {
+		if bound[v] {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if scheduled[j] {
+				continue
+			}
+			for _, w := range tps[j].Vars() {
+				if w == v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// estimatePattern estimates the pattern's result cardinality: the sum
+// over its candidate sources of the index-counted matches with the
+// pattern's constants bound, shrunk by a factor of 8 for every
+// position held by an already-bound variable (its runtime value is
+// unknown at planning time, but a bound position joins rather than
+// scans). Estimates only steer ordering, so being cheap matters more
+// than being exact — CountMatch is O(1)-ish per source after PR 5's
+// index counting.
+func (f *Federator) estimatePattern(tp sparql.TriplePattern, bound map[string]bool) int {
+	var s, p, o rdf.ID
+	var haveS, haveP, haveO bool
+	known := true
+	resolve := func(n sparql.Node) (rdf.ID, bool) {
+		if n.IsVar {
+			return 0, false
+		}
+		id, ok := f.dict.Lookup(n.Term)
+		if !ok {
+			known = false // constant absent from every source
+		}
+		return id, ok
+	}
+	s, haveS = resolve(tp.S)
+	p, haveP = resolve(tp.P)
+	o, haveO = resolve(tp.O)
+	if !known {
+		return 0
+	}
+
+	srcs := f.candidateSources(tp)
+	total := 0
+	for _, si := range srcs {
+		total += f.sources[si].Graph.CountMatch(s, p, o, haveS, haveP, haveO)
+	}
+	for _, n := range []sparql.Node{tp.S, tp.P, tp.O} {
+		if n.IsVar && bound[n.Var] {
+			total /= 8
+		}
+	}
+	return total
+}
+
+// candidateSources returns the source indexes a pattern may touch,
+// judged statically: a constant predicate restricts to the sources
+// holding it (the FedX-style source-selection index); a variable
+// predicate may touch every source, even if a runtime binding later
+// narrows it.
+func (f *Federator) candidateSources(tp sparql.TriplePattern) []int {
+	if !tp.P.IsVar {
+		id, ok := f.dict.Lookup(tp.P.Term)
+		if !ok {
+			return nil
+		}
+		return f.predSources[id]
+	}
+	all := make([]int, len(f.sources))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// probeSet folds the pattern's candidate guarded sources into probe.
+func (f *Federator) probeSet(tp sparql.TriplePattern, probe map[int]bool) {
+	for _, si := range f.candidateSources(tp) {
+		if f.guards[si] != nil {
+			probe[si] = true
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package federation
+
+import "alex/internal/links"
+
+// prov carries the provenance of one intermediate row: the sameAs
+// links its derivation has used so far. It exists as an interface so
+// the evaluator can run with either representation — the legacy
+// mutable-Set-per-row cloning (cloneProv) or the copy-on-write
+// persistent chain (cowProv) — and the equivalence harness can prove
+// both produce identical answers. Implementations are immutable from
+// the evaluator's point of view: extend returns a new value and never
+// changes the receiver's observable contents.
+type prov interface {
+	// extend returns the provenance grown by ls.
+	extend(ls []links.Link) prov
+	// set materializes the provenance as a freshly owned mutable Set.
+	set() links.Set
+}
+
+// cowProv is the fast path: an immutable links.Frozen chain with
+// structural sharing. Extending is O(len(ls)); nothing is copied until
+// a row is emitted and set() materializes the chain.
+type cowProv struct{ f *links.Frozen }
+
+func (p cowProv) extend(ls []links.Link) prov {
+	nf := p.f.With(ls...)
+	if nf == p.f {
+		return p
+	}
+	return cowProv{f: nf}
+}
+
+func (p cowProv) set() links.Set { return p.f.Set() }
+
+// cloneProv reproduces the pre-PR-5 behavior byte for byte: every
+// extension clones the full mutable Set, costing O(|set|) per
+// intermediate row. Kept as the equivalence baseline and the serial
+// row of BenchmarkFederatedQuery.
+type cloneProv struct{ s links.Set }
+
+func (p cloneProv) extend(ls []links.Link) prov {
+	ns := p.s.Clone()
+	for _, l := range ls {
+		ns.Add(l)
+	}
+	return cloneProv{s: ns}
+}
+
+func (p cloneProv) set() links.Set { return p.s.Clone() }

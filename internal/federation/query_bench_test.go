@@ -1,0 +1,107 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"alex/internal/rdf"
+	"alex/internal/synth"
+)
+
+// benchFederation builds the benchmark federation: the dbpedia-nytimes
+// synth pair with ground-truth sameAs links installed, queried by a
+// three-pattern join written in pessimal order (broad label scan first,
+// cross-source join second, selective category constant last). The
+// planner's job is to hoist the category pattern; the workers' job is
+// to fan out the cross-source join; CoW provenance avoids cloning a
+// Set per intermediate row.
+func benchFederation(b *testing.B) (*Federator, string) {
+	b.Helper()
+	prof, ok := synth.ProfileByName("dbpedia-nytimes")
+	if !ok {
+		b.Fatal("missing profile")
+	}
+	if testing.Short() {
+		prof = prof.Scale(0.1)
+	}
+	ds := synth.Generate(prof)
+	f := New(ds.Dict)
+	if err := f.AddSource("ds1", ds.G1); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.AddSource("ds2", ds.G2); err != nil {
+		b.Fatal(err)
+	}
+	f.SetLinks(ds.GroundTruth)
+
+	// Pick a real category value so the selective pattern matches a
+	// small but non-empty entity subset.
+	var cat string
+	ds.G1.ForEachMatch(rdf.Pattern{P: &synth.P1Cat}, func(t rdf.Triple) bool {
+		cat = t.O.Value
+		return false
+	})
+	if cat == "" {
+		b.Fatal("no category values generated")
+	}
+	query := fmt.Sprintf(`SELECT ?e ?n ?g ?b ?k WHERE {
+		?e <http://ds1.example.org/onto/label> ?n .
+		?e <http://ds2.example.org/prop/group> ?g .
+		?e <http://ds2.example.org/prop/born> ?b .
+		?e <http://ds2.example.org/prop/kind> ?k .
+		?e <http://ds1.example.org/onto/category> %q .
+	}`, cat)
+
+	// Sanity: the query must return rows (and cross links) or the
+	// numbers below measure an empty evaluation.
+	rs, err := withOptions(f, legacyOptions).Query(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		b.Fatal("benchmark query returned no rows")
+	}
+	return f, query
+}
+
+// BenchmarkFederatedQuery measures end-to-end query latency in three
+// configurations:
+//
+//   - serial: the legacy evaluator (written order, 1 worker, cloned
+//     provenance), no plan cache — the pre-PR-5 baseline.
+//   - cold: the fast path (reordered, GOMAXPROCS workers, CoW
+//     provenance) but parsing and planning on every call.
+//   - warm: the fast path with a pre-warmed plan cache, the steady
+//     state of alexd's /query loop.
+//
+// Run with -cpu=1,2,4,8 to get the scaling curve; `make bench-query`
+// records it as BENCH_query.json.
+func BenchmarkFederatedQuery(b *testing.B) {
+	f, query := benchFederation(b)
+
+	run := func(b *testing.B, fed *Federator) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fed.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		run(b, withOptions(f, legacyOptions))
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, withOptions(f, Options{}))
+	})
+	b.Run("warm", func(b *testing.B) {
+		fed := withOptions(f, Options{})
+		fed.SetPlanCache(NewPlanCache(16))
+		if _, err := fed.Query(query); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		run(b, fed)
+	})
+}

@@ -114,50 +114,69 @@ func (f *Federator) SourceStatuses() []SourceStatus {
 	return out
 }
 
-// evalCtx carries the per-evaluation fault state: the request context,
-// the memoized per-source availability decision (one probe per source
-// per query, not one per pattern×row), and the set of degraded sources.
+// evalCtx carries the per-evaluation fault state: the request context
+// and the per-source availability decisions. Availability is decided
+// entirely up front — newEvalCtx probes every guarded source in the
+// plan's probe set in parallel (one probe per source per query, with
+// deadline, retries and breaker), before any pattern is evaluated.
+// Deciding availability ahead of evaluation makes Degraded a pure
+// function of the plan and the sources' health: it cannot vary with
+// join order, worker count or how early the row stream runs dry, which
+// the equivalence harness relies on. After construction the evalCtx is
+// read-only and therefore safe to share across evaluation workers.
 type evalCtx struct {
 	ctx      context.Context
-	checked  map[int]bool
-	degraded map[int]bool
+	avail    []bool // per source index; true = usable by this query
+	degraded []int  // probed sources that failed, ascending
 }
 
-func newEvalCtx(ctx context.Context) *evalCtx {
+// newEvalCtx probes the plan's guarded sources concurrently and
+// records the availability verdicts. probe holds guarded source
+// indexes only (see plan.probe); unguarded local sources are always
+// available.
+func (f *Federator) newEvalCtx(ctx context.Context, probe []int) *evalCtx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &evalCtx{ctx: ctx, checked: make(map[int]bool), degraded: make(map[int]bool)}
+	ec := &evalCtx{ctx: ctx, avail: make([]bool, len(f.sources))}
+	for i := range ec.avail {
+		ec.avail[i] = f.guards[i] == nil
+	}
+	if len(probe) == 0 {
+		return ec
+	}
+	results := make([]bool, len(probe))
+	var wg sync.WaitGroup
+	for k, si := range probe {
+		wg.Add(1)
+		go func(k, si int) {
+			defer wg.Done()
+			results[k] = f.probeSource(ctx, si)
+		}(k, si)
+	}
+	wg.Wait()
+	for k, si := range probe {
+		ec.avail[si] = results[k]
+		if !results[k] {
+			ec.degraded = append(ec.degraded, si)
+		}
+	}
+	return ec
 }
+
+// available reports whether source si may be used by this evaluation.
+func (ec *evalCtx) available(si int) bool { return ec.avail[si] }
 
 func (ec *evalCtx) degradedNames(f *Federator) []string {
 	if len(ec.degraded) == 0 {
 		return nil
 	}
 	names := make([]string, 0, len(ec.degraded))
-	for si := range ec.degraded {
+	for _, si := range ec.degraded {
 		names = append(names, f.sources[si].Name)
 	}
 	sort.Strings(names)
 	return names
-}
-
-// sourceAvailable reports whether source si may be used by this
-// evaluation, probing it (with deadline, retries and breaker) the first
-// time the query touches it.
-func (f *Federator) sourceAvailable(ec *evalCtx, si int) bool {
-	if f.sources[si].Access == nil {
-		return true // local source: always available, zero overhead
-	}
-	if ok, seen := ec.checked[si]; seen {
-		return ok
-	}
-	ok := f.probeSource(ec.ctx, si)
-	ec.checked[si] = ok
-	if !ok {
-		ec.degraded[si] = true
-	}
-	return ok
 }
 
 // probeSource runs the source's access hook under the resilience

@@ -265,14 +265,47 @@ func (g *Graph) ForEachMatchIDs(s, p, o ID, haveS, haveP, haveO bool, fn func(s,
 }
 
 // CountMatch returns the number of triples matching the ID pattern; used
-// for selectivity estimation by the query engine.
+// for selectivity estimation by the query engine. It counts straight off
+// the index postings rather than enumerating matches, so planners can
+// afford to estimate every pattern: two-bound patterns are O(1) plus one
+// slice scan, one-bound patterns are O(distinct second key), and the
+// all-wildcard pattern is O(1).
 func (g *Graph) CountMatch(s, p, o ID, haveS, haveP, haveO bool) int {
-	n := 0
-	g.ForEachMatchIDs(s, p, o, haveS, haveP, haveO, func(_, _, _ ID) bool {
-		n++
-		return true
-	})
-	return n
+	switch {
+	case haveS && haveP && haveO:
+		for _, oo := range g.spo[s][p] {
+			if oo == o {
+				return 1
+			}
+		}
+		return 0
+	case haveS && haveP:
+		return len(g.spo[s][p])
+	case haveP && haveO:
+		return len(g.pos[p][o])
+	case haveS && haveO:
+		return len(g.osp[o][s])
+	case haveS:
+		n := 0
+		for _, objs := range g.spo[s] {
+			n += len(objs)
+		}
+		return n
+	case haveP:
+		n := 0
+		for _, subs := range g.pos[p] {
+			n += len(subs)
+		}
+		return n
+	case haveO:
+		n := 0
+		for _, preds := range g.osp[o] {
+			n += len(preds)
+		}
+		return n
+	default:
+		return g.size
+	}
 }
 
 // Triples returns all triples. Intended for tests and small graphs.

@@ -197,3 +197,56 @@ func TestGraphIDListings(t *testing.T) {
 		t.Fatalf("PredicatesOf = %d, want 1", got)
 	}
 }
+
+// TestCountMatchAgainstEnumeration cross-checks the index-based
+// CountMatch against a brute-force enumeration for every combination of
+// bound positions, including IDs absent from the graph.
+func TestCountMatchAgainstEnumeration(t *testing.T) {
+	g := NewGraph()
+	g.Insert(tr("s1", "p1", "o1"))
+	g.Insert(tr("s1", "p1", "o2"))
+	g.Insert(tr("s1", "p2", "o1"))
+	g.Insert(tr("s2", "p1", "o1"))
+	g.Insert(tr("s2", "p2", "o3"))
+	g.Insert(tr("s3", "p3", "o3"))
+
+	d := g.Dict()
+	ids := []ID{}
+	for _, name := range []string{"s1", "s2", "s3", "p1", "p2", "p3"} {
+		id, ok := d.Lookup(IRI("http://ex.org/" + name))
+		if !ok {
+			t.Fatalf("missing id for %s", name)
+		}
+		ids = append(ids, id)
+	}
+	for _, name := range []string{"o1", "o2", "o3"} {
+		id, ok := d.Lookup(Literal(name))
+		if !ok {
+			t.Fatalf("missing id for %s", name)
+		}
+		ids = append(ids, id)
+	}
+	ids = append(ids, NoID, ID(9999)) // absent / never-interned
+
+	for _, s := range ids {
+		for _, p := range ids {
+			for _, o := range ids {
+				for mask := 0; mask < 8; mask++ {
+					haveS := mask&1 != 0
+					haveP := mask&2 != 0
+					haveO := mask&4 != 0
+					want := 0
+					g.ForEachMatchIDs(s, p, o, haveS, haveP, haveO, func(_, _, _ ID) bool {
+						want++
+						return true
+					})
+					got := g.CountMatch(s, p, o, haveS, haveP, haveO)
+					if got != want {
+						t.Fatalf("CountMatch(%d,%d,%d,%v,%v,%v) = %d, enumeration = %d",
+							s, p, o, haveS, haveP, haveO, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -110,6 +110,7 @@ type metricKind uint8
 
 const (
 	kindCounter metricKind = iota
+	kindCounterFunc
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
@@ -120,12 +121,13 @@ type metric struct {
 	// labels is a rendered Prometheus label set ("k=\"v\",..."), empty
 	// for unlabeled metrics. Several metrics may share a name with
 	// distinct labels; they form one family in the exposition.
-	labels  string
-	kind    metricKind
-	counter *Counter
-	gauge   *Gauge
-	gaugeFn func() float64
-	hist    *Histogram
+	labels    string
+	kind      metricKind
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -160,6 +162,13 @@ func (r *Registry) Counter(name, help string) *Counter {
 	c := &Counter{}
 	r.register(metric{name: name, help: help, kind: kindCounter, counter: c})
 	return c
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+// fn must be monotonically non-decreasing (counter semantics); use it
+// for counts that already live elsewhere, like plan-cache statistics.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(metric{name: name, help: help, kind: kindCounterFunc, counterFn: fn})
 }
 
 // Gauge registers and returns a new gauge.
@@ -209,6 +218,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			switch m.kind {
 			case kindCounter:
 				fmt.Fprintf(w, "%s %d\n", sample, m.counter.Value())
+			case kindCounterFunc:
+				fmt.Fprintf(w, "%s %d\n", sample, m.counterFn())
 			case kindGauge:
 				fmt.Fprintf(w, "%s %s\n", sample, formatFloat(m.gauge.Value()))
 			case kindGaugeFunc:
@@ -219,6 +230,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		switch m.kind {
 		case kindCounter:
 			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, sample, m.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, sample, m.counterFn())
 		case kindGauge:
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, sample, formatFloat(m.gauge.Value()))
 		case kindGaugeFunc:

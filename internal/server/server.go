@@ -115,6 +115,13 @@ type Config struct {
 	// (per-source deadlines, retries, circuit breakers). The zero value
 	// means federation.DefaultResilience.
 	Resilience federation.Resilience
+	// QueryWorkers is the per-query evaluation parallelism; 0 means
+	// GOMAXPROCS (see federation.Options.Workers).
+	QueryWorkers int
+	// PlanCacheSize bounds the LRU cache of compiled query plans shared
+	// by all published snapshots; 0 or negative means
+	// federation.DefaultPlanCacheSize.
+	PlanCacheSize int
 }
 
 // DefaultConfig returns serving defaults suitable for interactive use.
@@ -187,6 +194,9 @@ type Server struct {
 	eng  Engine
 	dict *rdf.Dict
 	base *federation.Federator
+	// plans is the compiled-plan LRU shared by the base federator and
+	// every published snapshot (plans are link-independent).
+	plans *federation.PlanCache
 
 	// Durability layer; log is nil when DataDir is unset, ckpt is nil
 	// when the engine cannot checkpoint. logMu serializes journal
@@ -256,19 +266,23 @@ type serverMetrics struct {
 // item. The writer goroutine starts before New returns and the initial
 // snapshot (version 1) is published, so queries are answerable at once.
 func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
 	base := federation.New(dict)
 	base.SetResilience(cfg.Resilience)
+	base.SetOptions(federation.Options{Workers: cfg.QueryWorkers})
+	plans := federation.NewPlanCache(cfg.PlanCacheSize)
+	base.SetPlanCache(plans)
 	for _, src := range sources {
 		if err := base.Add(src); err != nil {
 			return nil, err
 		}
 	}
-	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		eng:   eng,
 		dict:  dict,
 		base:  base,
+		plans: plans,
 		queue: make(chan feedbackItem, cfg.QueueSize),
 		stop:  make(chan struct{}),
 		die:   make(chan struct{}),
@@ -354,6 +368,17 @@ func (s *Server) registerMetrics() {
 	m.queryRows = s.reg.Counter("alexd_query_rows_total", "Answer rows returned across all queries.")
 	m.queryDuration = s.reg.Histogram("alexd_query_duration_seconds", "Query evaluation latency.", nil)
 	m.degradedQueries = s.reg.Counter("alexd_degraded_queries_total", "Queries that returned partial results because a source was unavailable.")
+	s.reg.CounterFunc("alexd_plan_cache_hits_total", "Queries served from a cached plan.", func() uint64 {
+		hits, _ := s.plans.Stats()
+		return hits
+	})
+	s.reg.CounterFunc("alexd_plan_cache_misses_total", "Queries that required parsing and planning.", func() uint64 {
+		_, misses := s.plans.Stats()
+		return misses
+	})
+	s.reg.GaugeFunc("alexd_plan_cache_entries", "Compiled plans currently cached.", func() float64 {
+		return float64(s.plans.Len())
+	})
 	m.feedbackQueued = s.reg.Counter("alexd_feedback_total", "Answer-level feedback items accepted into the queue.")
 	m.feedbackThrottled = s.reg.Counter("alexd_feedback_throttled_total", "Feedback items refused with 429 (queue full).")
 	m.feedbackLinks = s.reg.Counter("alexd_feedback_links_total", "Link-level feedback items applied by the writer.")
