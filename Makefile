@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query bench-fleet fleet-smoke clean
 
 all: verify
 
@@ -53,6 +53,21 @@ bench-query:
 	$(GO) test -run '^$$' -bench '^BenchmarkFederatedQuery$$' -benchmem \
 		-cpu=1,2,4,8 ./internal/federation | \
 		$(GO) run ./cmd/benchjson -out BENCH_query.json
+
+# bench-fleet runs the sharded-fleet scatter-gather benchmark: router
+# query throughput over 1, 2 and 4 alexd shards with simulated
+# I/O-bound sources. Acceptance is queries/s growing with the shard
+# count; results land in BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetQuery$$' -benchmem \
+		-benchtime=200x ./internal/fleet | \
+		$(GO) run ./cmd/benchjson -out BENCH_fleet.json
+
+# fleet-smoke boots 3 alexd shards plus an alexrouter out-of-process,
+# queries through the router, kills one shard, asserts
+# degraded-but-correct serving, restarts it and asserts recovery.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 clean:
 	$(GO) clean ./...

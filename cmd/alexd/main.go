@@ -13,6 +13,18 @@
 //
 //	alexd -ds1 a.nt -ds2 b.nt -links links.nt -addr :8080
 //
+// Serve as shard 0 of a three-shard fleet (see README "Fleet
+// deployment"; every shard gets the SAME -fleet list and data flags):
+//
+//	alexd -profile dbpedia-drugbank -addr :8081 \
+//	  -shard-id 0 -fleet localhost:8081,localhost:8082,localhost:8083
+//
+// In fleet mode the shard loads the full dataset pair, runs the linker
+// over all of it, then keeps only the dataset-1 entities (and initial
+// links) its hash range owns; replication backfills the rest so reads
+// stay full. Writes for entities it does not own are refused with 400 —
+// front the fleet with alexrouter.
+//
 // Endpoints: POST /query, POST /feedback, GET /links, GET /healthz,
 // GET /metrics. See the README "Serving" section for curl examples.
 package main
@@ -26,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"alex/internal/cluster"
 	"alex/internal/core"
 	"alex/internal/eval"
 	"alex/internal/federation"
@@ -65,6 +79,10 @@ func main() {
 	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
 	queryWorkers := flag.Int("query-workers", 0, "per-query evaluation parallelism (0 = GOMAXPROCS)")
 	planCache := flag.Int("plan-cache", 0, "compiled query plans kept in the LRU cache (0 = default)")
+	maxQueries := flag.Int("max-queries", 0, "concurrent /query evaluations admitted (0 = unlimited; excess waits, then 503)")
+	shardID := flag.Int("shard-id", -1, "this shard's ID within -fleet (-1 = standalone)")
+	fleetList := flag.String("fleet", "", "comma-separated addresses of ALL fleet shards in shard-ID order (requires -shard-id)")
+	replicateEvery := flag.Duration("replicate-every", 2*time.Second, "fleet anti-entropy pull interval (with -fleet)")
 	flag.Parse()
 
 	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
@@ -77,6 +95,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alexd: exactly one of -profile or (-ds1 and -ds2) is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var peers []string // fleet mode: all shard addresses, ID order
+	if (*fleetList == "") != (*shardID < 0) {
+		fmt.Fprintln(os.Stderr, "alexd: -shard-id and -fleet must be given together")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fleetList != "" {
+		for _, a := range strings.Split(*fleetList, ",") {
+			peers = append(peers, strings.TrimSpace(a))
+		}
+		if *shardID >= len(peers) {
+			fatal(fmt.Errorf("-shard-id %d out of range for a %d-shard -fleet", *shardID, len(peers)))
+		}
 	}
 
 	var (
@@ -127,6 +159,32 @@ func main() {
 		log.Printf("initial quality vs ground truth: %v", eval.Compute(links.NewSet(initial...), gt))
 	}
 
+	// Fleet partitioning: the linker saw the full data above; now keep
+	// only the dataset-1 entities and links this shard's range owns.
+	var fleetCfg *server.FleetConfig
+	if len(peers) > 0 {
+		ranges := cluster.FleetRanges(len(peers))
+		own := ranges[*shardID]
+		allE1, allInit := len(e1), len(initial)
+		kept := e1[:0]
+		for _, e := range e1 {
+			if own.ContainsIRI(dict.Term(e).Value) {
+				kept = append(kept, e)
+			}
+		}
+		e1 = kept
+		keptLinks := initial[:0]
+		for _, l := range initial {
+			if cluster.OwnerOf(ranges, dict.Term(l.E1).Value) == *shardID {
+				keptLinks = append(keptLinks, l)
+			}
+		}
+		initial = keptLinks
+		fleetCfg = &server.FleetConfig{ShardID: *shardID, Shards: len(peers), ReplicateEvery: *replicateEvery}
+		log.Printf("shard %d/%d owns range %s: %d/%d entities, %d/%d initial links",
+			*shardID, len(peers), own, len(e1), allE1, len(initial), allInit)
+	}
+
 	cfg := core.DefaultConfig()
 	if *partitions > 0 {
 		cfg.Partitions = *partitions
@@ -140,15 +198,17 @@ func main() {
 		{Name: sourceName[0], Graph: g1},
 		{Name: sourceName[1], Graph: g2},
 	}, server.Config{
-		EpisodeSize:     *episodeSize,
-		QueueSize:       *queueSize,
-		FlushInterval:   *flush,
-		QueryTimeout:    *queryTimeout,
-		DrainTimeout:    *drainTimeout,
-		DataDir:         *dataDir,
-		CheckpointEvery: *checkpointEvery,
-		QueryWorkers:    *queryWorkers,
-		PlanCacheSize:   *planCache,
+		EpisodeSize:          *episodeSize,
+		QueueSize:            *queueSize,
+		FlushInterval:        *flush,
+		QueryTimeout:         *queryTimeout,
+		DrainTimeout:         *drainTimeout,
+		DataDir:              *dataDir,
+		CheckpointEvery:      *checkpointEvery,
+		QueryWorkers:         *queryWorkers,
+		PlanCacheSize:        *planCache,
+		MaxConcurrentQueries: *maxQueries,
+		Fleet:                fleetCfg,
 		Resilience: federation.Resilience{
 			SourceTimeout: *sourceTimeout,
 			Retries:       *sourceRetries,
@@ -166,6 +226,14 @@ func main() {
 		rec := srv.Recovery()
 		log.Printf("durability on in %s: recovered checkpoint seq %d, replayed %d journal records",
 			*dataDir, rec.CheckpointSeq, rec.Replayed)
+	}
+	if fleetCfg != nil {
+		// Peers may still be starting; replication retries on its
+		// interval, so a one-shot registration here is enough.
+		if err := srv.SetPeers(peers); err != nil {
+			fatal(err)
+		}
+		log.Printf("fleet peers registered: %s (replicate every %s)", strings.Join(peers, ", "), *replicateEvery)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

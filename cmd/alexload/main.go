@@ -5,7 +5,14 @@
 //
 // Against a running alexd:
 //
-//	alexload -addr localhost:8080 -concurrency 16 -duration 30s
+//	alexload -server localhost:8080 -concurrency 16 -duration 30s
+//
+// Against several targets at once — e.g. every shard of a fleet, or a
+// router next to a standalone for comparison — give -server a comma-
+// separated list; workers spread requests round-robin and the report
+// adds a per-target latency/error breakdown:
+//
+//	alexload -server localhost:8081,localhost:8082,localhost:8083
 //
 // Self-contained (spins up an in-process server over a synthetic
 // profile, then load-tests it — no daemon needed):
@@ -43,7 +50,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "", "alexd address (empty: self-contained in-process server)")
+	servers := flag.String("server", "", "comma-separated alexd/alexrouter addresses (empty: self-contained in-process server)")
+	addr := flag.String("addr", "", "alias for -server (kept for old scripts)")
 	profile := flag.String("profile", "dbpedia-drugbank", "synthetic profile for self-contained mode")
 	scale := flag.Float64("scale", 0.5, "profile scale for self-contained mode")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
@@ -54,26 +62,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
+	spec := *servers
+	if spec == "" {
+		spec = *addr
+	}
 	var (
-		client *server.Client
-		gt     map[server.LinkJSON]bool // self-contained mode only
+		names   []string
+		clients []*server.Client
+		gt      map[server.LinkJSON]bool // self-contained mode only
 	)
-	if *addr != "" {
-		client = server.NewClient(*addr)
+	if spec != "" {
+		for _, a := range strings.Split(spec, ",") {
+			a = strings.TrimSpace(a)
+			names = append(names, a)
+			clients = append(clients, server.NewClient(a))
+		}
 	} else {
 		fmt.Printf("self-contained mode: serving %s at scale %.2f in-process\n", *profile, *scale)
 		ts, srv, groundTruth := selfHost(*profile, *scale)
 		defer ts.Close()
 		defer srv.Close()
-		client = server.NewClient(ts.URL)
+		names = []string{"in-process"}
+		clients = []*server.Client{server.NewClient(ts.URL)}
 		gt = groundTruth
 	}
 
-	start, err := client.Healthz()
-	if err != nil {
-		fatal(fmt.Errorf("server not reachable: %w", err))
+	starts := make([]*server.HealthResponse, len(clients))
+	for i, c := range clients {
+		h, err := c.Healthz()
+		if err != nil {
+			fatal(fmt.Errorf("target %s not reachable: %w", names[i], err))
+		}
+		starts[i] = h
 	}
-	ls, err := client.Links()
+	start := starts[0]
+	ls, err := clients[0].Links()
 	if err != nil {
 		fatal(err)
 	}
@@ -90,30 +113,41 @@ func main() {
 	}
 	fmt.Printf("targets: %d entities from snapshot v%d (%d links)\n", len(entities), ls.SnapshotVersion, ls.Count)
 
+	// Counters and latency samples are kept per TARGET so a fleet run
+	// shows which shard (or router) is slow or erroring; the headline
+	// report aggregates across them.
+	per := make([]*targetStats, len(clients))
+	for i := range per {
+		per[i] = &targetStats{
+			queryLat:    newLatencies(*concurrency),
+			feedbackLat: newLatencies(*concurrency),
+		}
+	}
 	var (
-		queries, queryErrs, rows atomic.Uint64
-		feedbacks, rejected429   atomic.Uint64
-		queryLat, feedbackLat    = newLatencies(*concurrency), newLatencies(*concurrency)
-		stopAt                   = time.Now().Add(*duration)
-		wg                       sync.WaitGroup
+		stopAt = time.Now().Add(*duration)
+		wg     sync.WaitGroup
 	)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			for time.Now().Before(stopAt) {
+			for n := w; time.Now().Before(stopAt); n++ {
+				// Round-robin over targets, offset per worker so
+				// small runs still touch every target.
+				ti := n % len(clients)
+				c, st := clients[ti], per[ti]
 				e1 := entities[rng.Intn(len(entities))]
 				q := strings.ReplaceAll(*queryTmpl, "{e1}", e1)
 				t0 := time.Now()
-				res, err := client.Query(q)
-				queryLat.observe(w, time.Since(t0))
+				res, err := c.Query(q)
+				st.queryLat.observe(w, time.Since(t0))
 				if err != nil {
-					queryErrs.Add(1)
+					st.queryErrs.Add(1)
 					continue
 				}
-				queries.Add(1)
-				rows.Add(uint64(len(res.Rows)))
+				st.queries.Add(1)
+				st.rows.Add(uint64(len(res.Rows)))
 				if len(res.Rows) == 0 || rng.Float64() >= *feedbackFrac {
 					continue
 				}
@@ -131,37 +165,86 @@ func main() {
 					}
 				}
 				t1 := time.Now()
-				err = client.Feedback(row.Links, approve)
-				feedbackLat.observe(w, time.Since(t1))
+				err = c.Feedback(row.Links, approve)
+				st.feedbackLat.observe(w, time.Since(t1))
 				switch err {
 				case nil:
-					feedbacks.Add(1)
+					st.feedbacks.Add(1)
 				case server.ErrQueueFull:
-					rejected429.Add(1)
+					st.rejected429.Add(1)
+				default:
+					st.feedbackErrs.Add(1)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	end, err := client.Healthz()
+	end, err := clients[0].Healthz()
 	if err != nil {
 		fatal(err)
 	}
+	total := sumStats(per)
 	elapsed := *duration
-	fmt.Printf("\n--- load report (%s, %d workers) ---\n", elapsed, *concurrency)
+	fmt.Printf("\n--- load report (%s, %d workers, %d targets) ---\n", elapsed, *concurrency, len(clients))
 	fmt.Printf("queries:   %d ok, %d errors, %.1f qps, %.1f rows/query\n",
-		queries.Load(), queryErrs.Load(), float64(queries.Load())/elapsed.Seconds(),
-		safeDiv(float64(rows.Load()), float64(queries.Load())))
-	p := queryLat.percentiles()
+		total.queries.Load(), total.queryErrs.Load(), float64(total.queries.Load())/elapsed.Seconds(),
+		safeDiv(float64(total.rows.Load()), float64(total.queries.Load())))
+	p := total.queryLat.percentiles()
 	fmt.Printf("  latency: p50=%s p95=%s p99=%s max=%s\n", p[0], p[1], p[2], p[3])
-	fmt.Printf("feedback:  %d accepted, %d backpressured (429), %.1f fps\n",
-		feedbacks.Load(), rejected429.Load(), float64(feedbacks.Load())/elapsed.Seconds())
-	p = feedbackLat.percentiles()
+	fmt.Printf("feedback:  %d accepted, %d backpressured (429), %d errors, %.1f fps\n",
+		total.feedbacks.Load(), total.rejected429.Load(), total.feedbackErrs.Load(),
+		float64(total.feedbacks.Load())/elapsed.Seconds())
+	p = total.feedbackLat.percentiles()
 	fmt.Printf("  latency: p50=%s p95=%s p99=%s max=%s\n", p[0], p[1], p[2], p[3])
 	fmt.Printf("server:    episodes %d -> %d, snapshot v%d -> v%d, %d -> %d links\n",
 		start.Episode, end.Episode, start.SnapshotVersion, end.SnapshotVersion,
 		start.CandidateLinks, end.CandidateLinks)
+
+	if len(clients) > 1 {
+		fmt.Printf("\n--- per-target breakdown ---\n")
+		for i, name := range names {
+			st := per[i]
+			qp := st.queryLat.percentiles()
+			fmt.Printf("%s:\n", name)
+			fmt.Printf("  queries:  %d ok, %d errors, p50=%s p95=%s p99=%s\n",
+				st.queries.Load(), st.queryErrs.Load(), qp[0], qp[1], qp[2])
+			fp := st.feedbackLat.percentiles()
+			fmt.Printf("  feedback: %d accepted, %d backpressured, %d errors, p50=%s p95=%s p99=%s\n",
+				st.feedbacks.Load(), st.rejected429.Load(), st.feedbackErrs.Load(), fp[0], fp[1], fp[2])
+			if h, err := clients[i].Healthz(); err != nil {
+				fmt.Printf("  health:   unreachable (%v)\n", err)
+			} else {
+				fmt.Printf("  health:   episodes %d -> %d, snapshot v%d, %d links\n",
+					starts[i].Episode, h.Episode, h.SnapshotVersion, h.CandidateLinks)
+			}
+		}
+	}
+}
+
+// targetStats is one target's slice of the workload.
+type targetStats struct {
+	queries, queryErrs, rows             atomic.Uint64
+	feedbacks, rejected429, feedbackErrs atomic.Uint64
+	queryLat, feedbackLat                *latencies
+}
+
+// sumStats aggregates per-target stats into fleet-wide totals; latency
+// samples are concatenated so the headline percentiles cover every
+// request regardless of target.
+func sumStats(per []*targetStats) *targetStats {
+	out := &targetStats{queryLat: &latencies{}, feedbackLat: &latencies{}}
+	for _, st := range per {
+		out.queries.Add(st.queries.Load())
+		out.queryErrs.Add(st.queryErrs.Load())
+		out.rows.Add(st.rows.Load())
+		out.feedbacks.Add(st.feedbacks.Load())
+		out.rejected429.Add(st.rejected429.Load())
+		out.feedbackErrs.Add(st.feedbackErrs.Load())
+		out.queryLat.perWorker = append(out.queryLat.perWorker, st.queryLat.perWorker...)
+		out.feedbackLat.perWorker = append(out.feedbackLat.perWorker, st.feedbackLat.perWorker...)
+	}
+	return out
 }
 
 // selfHost builds a synthetic world, an ALEX system seeded by PARIS,

@@ -44,3 +44,17 @@ func (w *worker) loop() {
 func (w *worker) namedUntracked() {
 	go w.loop() // want `goroutine is not tied to a WaitGroup`
 }
+
+// tickerLoop is the replication anti-pattern the fleet work guards
+// against: a periodic loop whose only exit is process death. A
+// time.Ticker channel is a data channel, not a stop signal, so this
+// goroutine runs through Server.Close and races teardown.
+func tickerLoop(replicate func()) {
+	go func() { // want `goroutine is not tied to a WaitGroup`
+		for range tick() {
+			replicate()
+		}
+	}()
+}
+
+func tick() <-chan int { return nil }

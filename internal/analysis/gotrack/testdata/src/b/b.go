@@ -86,3 +86,22 @@ func stopChan(stop chan struct{}, work func()) {
 		}
 	}()
 }
+
+// replicatorShape is internal/server's fleet replicator: a long-lived
+// periodic loop that closes its done-channel on exit and selects on a
+// struct{} stop signal alongside its tick/kick channels.
+func (s *server) replicatorShape(tick <-chan int, replicate func()) {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick:
+			replicate()
+		}
+	}
+}
+
+func (s *server) startReplicator(tick <-chan int, replicate func()) {
+	go s.replicatorShape(tick, replicate)
+}

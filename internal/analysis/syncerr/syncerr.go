@@ -27,13 +27,15 @@ import (
 	"alex/internal/analysis"
 )
 
-// Analyzer is the syncerr checker, scoped to the write-ahead log and the
-// serving layer — the two packages whose errors back durability promises.
+// Analyzer is the syncerr checker, scoped to the write-ahead log, the
+// serving layer and the fleet router — the packages whose errors back
+// durability promises (the router relays acks whose meaning is "the
+// owning shard fsynced").
 var Analyzer = &analysis.Analyzer{
 	Name: "syncerr",
 	Doc:  "flags discarded Sync/Flush/Close errors on durability-relevant files",
 	Match: func(p string) bool {
-		return analysis.PathHasAny(p, "alex/internal/wal", "alex/internal/server")
+		return analysis.PathHasAny(p, "alex/internal/wal", "alex/internal/server", "alex/internal/fleet")
 	},
 	Run: run,
 }

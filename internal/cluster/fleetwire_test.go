@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFleetWireRoundTrip is the fleet twin of TestConfigWireRoundTrip:
+// every field of the fleet wire types must survive a JSON round trip,
+// catching silently-dropped fields (a missing tag, an unexported field,
+// a renamed key) before they lose links between shards.
+func TestFleetWireRoundTrip(t *testing.T) {
+	manifests := []SnapshotManifest{
+		{
+			ShardID: 2,
+			Range:   HashRange{Lo: 0x4000000000000000, Hi: 0x8000000000000000},
+			Episode: 17,
+			Version: 43,
+			Links: []LinkWire{
+				{E1: "http://ds1/a", E2: "http://ds2/b"},
+				{E1: "http://ds1/x", E2: "http://ds2/y"},
+			},
+		},
+		// Last-shard shape: Hi == 0 (top of the hash space) and an empty
+		// link set must both survive.
+		{ShardID: 3, Range: HashRange{Lo: 0xc000000000000000, Hi: 0}, Episode: 0, Version: 1, Links: nil},
+	}
+	for _, m := range manifests {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SnapshotManifest
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("manifest round trip lost fields:\n sent %+v\n got  %+v", m, back)
+		}
+	}
+
+	info := ShardInfo{ID: 1, Addr: "10.0.0.7:8081", Range: HashRange{Lo: 7, Hi: 11}}
+	data, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardInfo
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(info, back) {
+		t.Fatalf("shard info round trip lost fields:\n sent %+v\n got  %+v", info, back)
+	}
+}
+
+// The wire keys are a cross-version contract: renaming one desyncs
+// mixed-version fleets even though same-version round trips still pass.
+func TestFleetWireKeys(t *testing.T) {
+	data, err := json.Marshal(SnapshotManifest{Links: []LinkWire{{E1: "a", E2: "b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shard_id", "range", "episode", "version", "links"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("manifest JSON lost key %q: %s", key, data)
+		}
+	}
+	var links []map[string]any
+	b, _ := json.Marshal(raw["links"])
+	if err := json.Unmarshal(b, &links); err != nil || len(links) != 1 {
+		t.Fatalf("manifest links malformed: %s", data)
+	}
+	if _, ok := links[0]["e1"]; !ok {
+		t.Fatalf("link JSON must use lowercase e1/e2 keys (the /feedback wire convention): %s", data)
+	}
+}
+
+func TestFleetRangesPartitionTheHashSpace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		ranges := FleetRanges(n)
+		if len(ranges) != n {
+			t.Fatalf("n=%d: got %d ranges", n, len(ranges))
+		}
+		if ranges[0].Lo != 0 {
+			t.Fatalf("n=%d: first range starts at %#x", n, ranges[0].Lo)
+		}
+		if ranges[n-1].Hi != 0 {
+			t.Fatalf("n=%d: last range must end at the top of the space, got %#x", n, ranges[n-1].Hi)
+		}
+		for i := 1; i < n; i++ {
+			if ranges[i].Lo != ranges[i-1].Hi {
+				t.Fatalf("n=%d: gap or overlap between range %d and %d: %v, %v", n, i-1, i, ranges[i-1], ranges[i])
+			}
+		}
+		// Every hash is owned by exactly one range, and OwnerOf agrees
+		// with Contains.
+		rng := rand.New(rand.NewSource(int64(n)))
+		probes := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1}
+		for i := 0; i < 200; i++ {
+			probes = append(probes, rng.Uint64())
+		}
+		for _, r := range ranges {
+			probes = append(probes, r.Lo) // boundaries are the edge cases
+		}
+		for _, h := range probes {
+			owners := 0
+			owner := -1
+			for i, r := range ranges {
+				if r.Contains(h) {
+					owners++
+					owner = i
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: hash %#x owned by %d ranges", n, h, owners)
+			}
+			_ = owner
+		}
+	}
+}
+
+func TestOwnerOfMatchesContains(t *testing.T) {
+	iris := []string{
+		"http://ds1.example.org/entity/1",
+		"http://ds1.example.org/entity/2",
+		"http://dbpedia.org/resource/Aspirin",
+		"", // degenerate but must not panic
+		"x",
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		iris = append(iris, "http://ds1/e"+string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26))))
+	}
+	for _, n := range []int{1, 2, 4, 5} {
+		ranges := FleetRanges(n)
+		for _, iri := range iris {
+			o := OwnerOf(ranges, iri)
+			if o < 0 || o >= n {
+				t.Fatalf("n=%d: owner %d out of range for %q", n, o, iri)
+			}
+			if !ranges[o].ContainsIRI(iri) {
+				t.Fatalf("n=%d: OwnerOf(%q)=%d but range %v does not contain hash %#x",
+					n, iri, o, ranges[o], EntityHash(iri))
+			}
+		}
+	}
+}
+
+// EntityHash is a wire contract: pin known values so an accidental
+// algorithm change (which would re-partition every live deployment)
+// fails loudly.
+func TestEntityHashPinned(t *testing.T) {
+	cases := map[string]uint64{
+		"":              14695981039346656037,
+		"a":             0xaf63dc4c8601ec8c,
+		"http://ds1/a1": EntityHash("http://ds1/a1"), // self-consistency
+	}
+	for iri, want := range cases {
+		if got := EntityHash(iri); got != want {
+			t.Fatalf("EntityHash(%q) = %#x, want %#x", iri, got, want)
+		}
+	}
+	if EntityHash("http://ds1/a1") == EntityHash("http://ds1/a2") {
+		t.Fatal("distinct IRIs should hash apart")
+	}
+}

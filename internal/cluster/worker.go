@@ -99,9 +99,12 @@ type AssignReply struct {
 	SpaceTotal    int
 }
 
-// LinkWire is a link as IRI strings.
+// LinkWire is a link as IRI strings. It crosses both the RPC wire
+// (gob, which ignores the tags) and the fleet replication wire (JSON,
+// see SnapshotManifest).
 type LinkWire struct {
-	E1, E2 string
+	E1 string `json:"e1"`
+	E2 string `json:"e2"`
 }
 
 // SampleReply is a sampled candidate (OK=false when the shard is empty).

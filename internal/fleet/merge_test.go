@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"alex/internal/server"
+)
+
+func row(v, val string, ls ...server.LinkJSON) server.RowJSON {
+	return server.RowJSON{
+		Binding: map[string]server.TermJSON{v: {Kind: "literal", Value: val}},
+		Links:   ls,
+	}
+}
+
+// Agreeing shards must merge to exactly one shard's answer — including
+// duplicate solutions, which SELECT without DISTINCT preserves and a
+// set-union would destroy.
+func TestMergeIdenticalResponsesPassThrough(t *testing.T) {
+	l := server.LinkJSON{E1: "http://ds1/a", E2: "http://ds2/b"}
+	resp := &server.QueryResponse{
+		Vars: []string{"n"},
+		Rows: []server.RowJSON{
+			row("n", "x", l),
+			row("n", "dup"),
+			row("n", "dup"), // duplicate solution, multiplicity 2
+		},
+		SnapshotVersion: 7,
+	}
+	got := mergeResponses([]*server.QueryResponse{resp, resp, resp})
+	if !reflect.DeepEqual(got.Rows, resp.Rows) {
+		t.Fatalf("merge of identical responses altered the answer:\n got %+v\nwant %+v", got.Rows, resp.Rows)
+	}
+	if got.SnapshotVersion != 7 || !reflect.DeepEqual(got.Vars, resp.Vars) {
+		t.Fatalf("metadata mangled: %+v", got)
+	}
+}
+
+// Divergent multiplicities take the max, never the sum.
+func TestMergeMaxMultiplicity(t *testing.T) {
+	a := &server.QueryResponse{Rows: []server.RowJSON{row("n", "x"), row("n", "y")}}
+	b := &server.QueryResponse{Rows: []server.RowJSON{row("n", "y"), row("n", "y"), row("n", "z")}}
+	got := mergeResponses([]*server.QueryResponse{a, b})
+	// x (1), y (max(1,2)=2), z (1) — first-seen order: x, y, then the
+	// second y and z from b.
+	want := []string{"x", "y", "y", "z"}
+	if len(got.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(got.Rows), len(want), got.Rows)
+	}
+	for i, w := range want {
+		if got.Rows[i].Binding["n"].Value != w {
+			t.Fatalf("row %d = %q, want %q", i, got.Rows[i].Binding["n"].Value, w)
+		}
+	}
+}
+
+// Nil entries (shards that did not answer) are skipped.
+func TestMergeSkipsNil(t *testing.T) {
+	b := &server.QueryResponse{Vars: []string{"n"}, Rows: []server.RowJSON{row("n", "x")}}
+	got := mergeResponses([]*server.QueryResponse{nil, b, nil})
+	if len(got.Rows) != 1 || got.Rows[0].Binding["n"].Value != "x" {
+		t.Fatalf("merge with nils = %+v", got.Rows)
+	}
+}
+
+// A source is degraded fleet-wide only if EVERY answering shard saw it
+// degraded; order follows the first response.
+func TestMergeDegradedIntersection(t *testing.T) {
+	a := &server.QueryResponse{DegradedSources: []string{"ds2", "ds3"}}
+	b := &server.QueryResponse{DegradedSources: []string{"ds3"}}
+	got := mergeResponses([]*server.QueryResponse{a, b})
+	if !reflect.DeepEqual(got.DegradedSources, []string{"ds3"}) {
+		t.Fatalf("degraded = %v, want [ds3]", got.DegradedSources)
+	}
+	// All agree -> pass through unchanged.
+	got = mergeResponses([]*server.QueryResponse{a, a})
+	if !reflect.DeepEqual(got.DegradedSources, []string{"ds2", "ds3"}) {
+		t.Fatalf("degraded = %v, want [ds2 ds3]", got.DegradedSources)
+	}
+	// One healthy shard clears the marker.
+	got = mergeResponses([]*server.QueryResponse{a, {}})
+	if got.DegradedSources != nil {
+		t.Fatalf("degraded = %v, want nil", got.DegradedSources)
+	}
+}
+
+func TestMergeAsk(t *testing.T) {
+	tr, fa := true, false
+	got := mergeResponses([]*server.QueryResponse{{Ask: &fa}, {Ask: &tr}})
+	if got.Ask == nil || !*got.Ask {
+		t.Fatalf("ask = %v, want true", got.Ask)
+	}
+	got = mergeResponses([]*server.QueryResponse{{Ask: &fa}, {Ask: &fa}})
+	if got.Ask == nil || *got.Ask {
+		t.Fatalf("ask = %v, want false", got.Ask)
+	}
+	got = mergeResponses([]*server.QueryResponse{{}})
+	if got.Ask != nil {
+		t.Fatalf("ask = %v, want nil for SELECT", got.Ask)
+	}
+}
+
+// rowKey must never collide across distinct rows: differing values,
+// link lists, datatypes and adversarial field contents (separators
+// inside values) all key apart, while link order keys together.
+func TestRowKeyInjective(t *testing.T) {
+	l1 := server.LinkJSON{E1: "a", E2: "b"}
+	l2 := server.LinkJSON{E1: "c", E2: "d"}
+	distinct := []server.RowJSON{
+		row("n", "x"),
+		row("n", "y"),
+		row("m", "x"),
+		row("n", "x", l1),
+		row("n", "x", l1, l2),
+		row("n", "x", server.LinkJSON{E1: "ab", E2: ""}),
+		{Binding: map[string]server.TermJSON{"n": {Kind: "literal", Value: "x", Lang: "en"}}},
+		{Binding: map[string]server.TermJSON{"n": {Kind: "literal", Value: "x", Datatype: "en"}}},
+		{Binding: map[string]server.TermJSON{"n": {Kind: "iri", Value: "x"}}},
+		{Binding: map[string]server.TermJSON{"n": {Kind: "literal", Value: "3:a"}}},
+		{Binding: map[string]server.TermJSON{"n": {Kind: "literal", Value: ""}, "3:a": {Kind: "literal"}}},
+	}
+	seen := map[string]int{}
+	for i, r := range distinct {
+		k := rowKey(r)
+		if j, ok := seen[k]; ok {
+			t.Fatalf("rows %d and %d collide on key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	// Link ORDER is not identity: provenance is a set.
+	if rowKey(row("n", "x", l1, l2)) != rowKey(row("n", "x", l2, l1)) {
+		t.Fatal("link order changed the row key")
+	}
+}

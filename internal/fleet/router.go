@@ -1,0 +1,627 @@
+// Package fleet is the scatter-gather router in front of a sharded
+// alexd fleet (ISSUE 6; the multi-machine reading of paper §6.2's
+// independent partitions).
+//
+// N shards each own a contiguous range of the entity-hash space
+// (cluster.FleetRanges) and replicate their link snapshots to each
+// other, so EVERY shard serves full reads. The router is stateless on
+// top of that:
+//
+//   - /feedback is consistent-hash routed: the links of one request are
+//     grouped by owning shard (cluster.OwnerOf on the E1 IRI) and each
+//     group goes to its owner, which journals and fsyncs before acking
+//     — the fleet ack is as durable as the single-node one. Delivery
+//     is at-least-once per group; ALEX feedback tolerates duplicates.
+//   - /query scatters to the routable shards and gathers with the
+//     canonical merge in merge.go, which returns exactly one shard's
+//     answer when the fleet is converged. Shards that failed or were
+//     routed around are reported in the X-Alex-Fleet-Degraded header;
+//     the body stays wire-identical to a single-node answer.
+//   - Failover: a health loop polls every shard's /healthz behind a
+//     per-shard circuit breaker (the PR-2 machinery, reused from
+//     internal/federation). A dead shard is routed around — reads
+//     survive any N-1 failures because replicas are full; writes for
+//     the dead shard's range are refused with 503 + Retry-After (the
+//     owner is the only durable home for its links; rerouting them
+//     would fork ownership). Data-path failures feed the same breakers
+//     so the router reacts faster than the polling interval.
+//
+// The router holds no link state and no journal: it can be restarted
+// or replicated freely, and every durability promise is exactly one
+// shard's fsync-before-ack.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alex/internal/cluster"
+	"alex/internal/federation"
+	"alex/internal/server"
+)
+
+// Config tunes the router.
+type Config struct {
+	// Shards lists the shard addresses in shard-ID order; the fleet
+	// size and hash ranges are derived from its length.
+	Shards []string
+	// HealthInterval is the /healthz polling period. 0 means 1s.
+	HealthInterval time.Duration
+	// QueryTimeout caps a fan-out round; requests may lower it via
+	// timeout_ms. 0 means 10s.
+	QueryTimeout time.Duration
+	// QueryFanout is how many routable shards each /query scatters to:
+	// 0 means all of them (the gather then cross-checks every replica),
+	// K >= 1 picks K round-robin — with full replicas one is enough for
+	// a correct answer, so fanout 1 is the throughput mode.
+	QueryFanout int
+	// Breaker tunes the per-shard circuit breakers. Zero values take
+	// the federation defaults.
+	Breaker federation.BreakerConfig
+	// Retry is the per-shard client retry policy. Zero means
+	// server.DefaultRetryPolicy.
+	Retry *server.RetryPolicy
+}
+
+const (
+	defaultHealthInterval = time.Second
+	defaultQueryTimeout   = 10 * time.Second
+	// healthProbeTimeout bounds one /healthz poll, so a hung shard
+	// cannot stall the loop past its interval.
+	healthProbeTimeout = 2 * time.Second
+)
+
+// shard is the router's view of one fleet member.
+type shard struct {
+	id      int
+	client  *server.Client
+	breaker *federation.Breaker
+	// routable is the health loop's verdict, read lock-free by the
+	// data path. health caches the last successful /healthz response.
+	routable atomic.Bool
+	health   atomic.Pointer[server.HealthResponse]
+}
+
+// Router scatter-gathers queries and hash-routes feedback across the
+// fleet.
+type Router struct {
+	cfg    Config
+	ranges []cluster.HashRange
+	shards []*shard
+	rr     atomic.Uint64 // round-robin cursor for QueryFanout > 0
+
+	mux  http.Handler
+	reg  *server.Registry
+	stop chan struct{}
+	done chan struct{}
+
+	closing sync.Once
+	metrics routerMetrics
+}
+
+type routerMetrics struct {
+	queries        *server.Counter
+	queryErrors    *server.Counter
+	queryFanouts   *server.Histogram
+	fleetDegraded  *server.Counter
+	feedback       *server.Counter
+	feedbackErrors *server.Counter
+	feedbackSplits *server.Histogram
+	healthPolls    *server.Counter
+	healthFailures *server.Counter
+	panics         *server.Counter
+}
+
+// New builds a router over the shard address list and starts its
+// health loop. The first polling round runs synchronously, so the
+// router never starts blind: shards that are already up are routable
+// before New returns.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) < 1 {
+		return nil, fmt.Errorf("fleet: router needs at least one shard address")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = defaultHealthInterval
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = defaultQueryTimeout
+	}
+	retry := server.DefaultRetryPolicy()
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
+	r := &Router{
+		cfg:    cfg,
+		ranges: cluster.FleetRanges(len(cfg.Shards)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		reg:    server.NewRegistry(),
+	}
+	for id, addr := range cfg.Shards {
+		c := server.NewClient(addr)
+		c.SetRetryPolicy(retry)
+		r.shards = append(r.shards, &shard{
+			id:      id,
+			client:  c,
+			breaker: federation.NewBreaker(cfg.Breaker),
+		})
+	}
+	r.registerMetrics()
+	r.mux = r.routes()
+	r.pollAll()
+	go r.healthLoop()
+	return r, nil
+}
+
+func (r *Router) registerMetrics() {
+	m := &r.metrics
+	m.queries = r.reg.Counter("alexrouter_queries_total", "Queries scattered across the fleet.")
+	m.queryErrors = r.reg.Counter("alexrouter_query_errors_total", "Queries that failed on every targeted shard.")
+	m.queryFanouts = r.reg.Histogram("alexrouter_query_fanout", "Shards targeted per query.", []float64{1, 2, 4, 8, 16})
+	m.fleetDegraded = r.reg.Counter("alexrouter_fleet_degraded_total", "Queries answered with at least one shard routed around.")
+	m.feedback = r.reg.Counter("alexrouter_feedback_total", "Feedback requests routed to owning shards.")
+	m.feedbackErrors = r.reg.Counter("alexrouter_feedback_errors_total", "Feedback requests refused (owner down, backpressure, bad links).")
+	m.feedbackSplits = r.reg.Histogram("alexrouter_feedback_split", "Owner groups per feedback request.", []float64{1, 2, 4, 8})
+	m.healthPolls = r.reg.Counter("alexrouter_health_polls_total", "Shard health probes issued.")
+	m.healthFailures = r.reg.Counter("alexrouter_health_failures_total", "Shard health probes that failed.")
+	m.panics = r.reg.Counter("alexrouter_http_panics_total", "Handler panics recovered.")
+	r.reg.GaugeFunc("alexrouter_shards", "Fleet size.", func() float64 {
+		return float64(len(r.shards))
+	})
+	r.reg.GaugeFunc("alexrouter_routable_shards", "Shards currently considered routable.", func() float64 {
+		n := 0
+		for _, sh := range r.shards {
+			if sh.routable.Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	for _, sh := range r.shards {
+		sh := sh
+		r.reg.LabeledGaugeFunc("alexrouter_shard_routable",
+			fmt.Sprintf("shard=\"%d\"", sh.id),
+			"1 when the shard is routable.",
+			func() float64 {
+				if sh.routable.Load() {
+					return 1
+				}
+				return 0
+			})
+		r.reg.LabeledGaugeFunc("alexrouter_shard_breaker_state",
+			fmt.Sprintf("shard=\"%d\"", sh.id),
+			"Per-shard circuit state: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(sh.breaker.State()) })
+	}
+}
+
+// healthLoop polls every shard each interval. Stopped by Close; the
+// done channel closes when the loop exits.
+func (r *Router) healthLoop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.pollAll()
+		}
+	}
+}
+
+// pollAll probes every shard once. The breaker throttles probes to a
+// dead shard: while open, Allow() fails and the shard stays
+// unroutable without a network round trip; after the cooldown the
+// half-open probe is the recovery path.
+func (r *Router) pollAll() {
+	for _, sh := range r.shards {
+		if !sh.breaker.Allow() {
+			sh.routable.Store(false)
+			continue
+		}
+		r.metrics.healthPolls.Inc()
+		ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+		h, err := sh.client.HealthzContext(ctx)
+		cancel()
+		ok := err == nil && h.Status == "ok"
+		sh.breaker.Record(ok)
+		sh.routable.Store(ok)
+		if ok {
+			sh.health.Store(h)
+		} else {
+			r.metrics.healthFailures.Inc()
+		}
+	}
+}
+
+// markDown records a data-path failure: the breaker learns about it
+// and the shard is immediately unroutable, without waiting for the
+// next poll.
+func (r *Router) markDown(sh *shard) {
+	sh.breaker.Record(false)
+	sh.routable.Store(false)
+}
+
+// routableShards returns the currently routable shards in ID order.
+func (r *Router) routableShards() []*shard {
+	out := make([]*shard, 0, len(r.shards))
+	for _, sh := range r.shards {
+		if sh.routable.Load() {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// queryTargets picks the shards one query scatters to: all routable
+// shards, or QueryFanout of them round-robin.
+func (r *Router) queryTargets() []*shard {
+	avail := r.routableShards()
+	k := r.cfg.QueryFanout
+	if k <= 0 || k >= len(avail) {
+		return avail
+	}
+	start := int(r.rr.Add(1)-1) % len(avail)
+	out := make([]*shard, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, avail[(start+i)%len(avail)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Handler returns the router's root HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Registry exposes the router's metrics registry.
+func (r *Router) Registry() *server.Registry { return r.reg }
+
+// Close stops the health loop. In-flight requests finish; the router
+// holds no state to drain.
+func (r *Router) Close() error {
+	r.closing.Do(func() { close(r.stop) })
+	<-r.done
+	for _, sh := range r.shards {
+		sh.client.CloseIdleConnections()
+	}
+	return nil
+}
+
+func (r *Router) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/feedback", r.handleFeedback)
+	mux.HandleFunc("/links", r.handleLinks)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	return r.recoverMiddleware(mux)
+}
+
+func (r *Router) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.metrics.panics.Inc()
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, req)
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var qr server.QueryRequest
+	if err := json.NewDecoder(req.Body).Decode(&qr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if qr.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query"})
+		return
+	}
+	timeout := r.cfg.QueryTimeout
+	if qr.TimeoutMillis > 0 {
+		if t := time.Duration(qr.TimeoutMillis) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	defer cancel()
+
+	targets := r.queryTargets()
+	if len(targets) == 0 {
+		r.metrics.queryErrors.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no routable shard"})
+		return
+	}
+	r.metrics.queryFanouts.Observe(float64(len(targets)))
+
+	// Scatter: one goroutine per target, results slotted by position so
+	// the gather keeps shard-ID order (the merge's first-seen order and
+	// therefore the answer's row order is deterministic).
+	resps := make([]*server.QueryResponse, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, sh := range targets {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			res, err := sh.client.QueryContext(ctx, qr.Query)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resps[i] = res
+		}(i, sh)
+	}
+	wg.Wait()
+
+	answered := 0
+	var missed []string
+	var firstErr error
+	for i, sh := range targets {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			if ctx.Err() == nil {
+				r.markDown(sh)
+			}
+			missed = append(missed, fmt.Sprintf("shard-%d", sh.id))
+			continue
+		}
+		answered++
+	}
+	if answered == 0 {
+		r.metrics.queryErrors.Inc()
+		if ctx.Err() != nil {
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
+			return
+		}
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: fmt.Sprintf("no shard answered: %v", firstErr)})
+		return
+	}
+	// Shards routed around before the scatter are degraded too: the
+	// answer is still full (replicas are), but cross-checking was
+	// narrower than the fleet.
+	for _, sh := range r.shards {
+		if !sh.routable.Load() && !contains(missed, fmt.Sprintf("shard-%d", sh.id)) && !inTargets(targets, sh) {
+			missed = append(missed, fmt.Sprintf("shard-%d", sh.id))
+		}
+	}
+	out := mergeResponses(resps)
+	r.metrics.queries.Inc()
+	if len(out.DegradedSources) > 0 {
+		w.Header().Set("X-Alex-Degraded", strings.Join(out.DegradedSources, ","))
+	}
+	if len(missed) > 0 && r.cfg.QueryFanout <= 0 {
+		// Only meaningful in scatter-to-all mode: with a deliberate
+		// fanout K, untargeted shards are load balancing, not damage.
+		sort.Strings(missed)
+		r.metrics.fleetDegraded.Inc()
+		w.Header().Set("X-Alex-Fleet-Degraded", strings.Join(missed, ","))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func inTargets(targets []*shard, sh *shard) bool {
+	for _, t := range targets {
+		if t == sh {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) handleFeedback(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var fr server.FeedbackRequest
+	if err := json.NewDecoder(req.Body).Decode(&fr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(fr.Links) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no links in feedback"})
+		return
+	}
+	// Group the links by owning shard. One answer row can cross links
+	// owned by different shards; each group must reach ITS owner — the
+	// only node whose journal makes the ack durable for those links.
+	groups := make(map[int][]server.LinkJSON)
+	for _, lj := range fr.Links {
+		owner := cluster.OwnerOf(r.ranges, lj.E1)
+		groups[owner] = append(groups[owner], lj)
+	}
+	r.metrics.feedbackSplits.Observe(float64(len(groups)))
+	// All owners must be routable up front: a partial delivery would
+	// ack what landed and silently drop the rest. (Partial delivery can
+	// still happen if an owner dies mid-flight — then the client gets a
+	// retryable error and at-least-once semantics apply.)
+	for owner := range groups {
+		if !r.shards[owner].routable.Load() {
+			r.metrics.feedbackErrors.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: fmt.Sprintf("shard %d (owner of %d of the links) is not routable", owner, len(groups[owner])),
+			})
+			return
+		}
+	}
+
+	owners := make([]int, 0, len(groups))
+	for owner := range groups {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	statuses := make([]int, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, owner := range owners {
+		wg.Add(1)
+		go func(i, owner int) {
+			defer wg.Done()
+			statuses[i], errs[i] = r.shards[owner].client.FeedbackResult(req.Context(), groups[owner], fr.Approve)
+		}(i, owner)
+	}
+	wg.Wait()
+
+	worst := http.StatusAccepted
+	var msg string
+	for i, owner := range owners {
+		status, err := statuses[i], errs[i]
+		if err != nil && status == 0 {
+			// Transport failure: the owner may or may not have journaled
+			// the group. Surface a retryable 503 and let the breaker react.
+			r.markDown(r.shards[owner])
+			status = http.StatusServiceUnavailable
+		}
+		if status > worst {
+			worst = status
+			if err != nil {
+				msg = fmt.Sprintf("shard %d: %v", owner, err)
+			} else {
+				msg = fmt.Sprintf("shard %d: HTTP %d", owner, status)
+			}
+		}
+	}
+	if worst != http.StatusAccepted {
+		r.metrics.feedbackErrors.Inc()
+		if worst == http.StatusTooManyRequests || worst >= 500 {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, worst, errorResponse{Error: msg})
+		return
+	}
+	r.metrics.feedback.Inc()
+	writeJSON(w, http.StatusAccepted, server.FeedbackResponse{Queued: true, Links: len(fr.Links)})
+}
+
+// handleLinks proxies the full link set from the freshest routable
+// shard (every replica serves full reads; freshest = highest engine
+// episode seen by the health loop, so the answer lags replication the
+// least).
+func (r *Router) handleLinks(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	avail := r.routableShards()
+	sort.SliceStable(avail, func(i, j int) bool {
+		hi, hj := avail[i].health.Load(), avail[j].health.Load()
+		ei, ej := -1, -1
+		if hi != nil {
+			ei = hi.Episode
+		}
+		if hj != nil {
+			ej = hj.Episode
+		}
+		return ei > ej
+	})
+	for _, sh := range avail {
+		ls, err := sh.client.Links()
+		if err != nil {
+			r.markDown(sh)
+			continue
+		}
+		writeJSON(w, http.StatusOK, ls)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no routable shard"})
+}
+
+// ShardStatus is the router's view of one shard, for /healthz.
+type ShardStatus struct {
+	ID       int               `json:"id"`
+	Addr     string            `json:"addr"`
+	Range    cluster.HashRange `json:"range"`
+	Routable bool              `json:"routable"`
+	Breaker  string            `json:"breaker"`
+	// Episode/CandidateLinks/SnapshotVersion echo the last successful
+	// health probe (zero before the first one).
+	Episode         int    `json:"episode"`
+	CandidateLinks  int    `json:"candidate_links"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+}
+
+// RouterHealth reports the fleet as the router sees it. Status is
+// "ok" (all shards routable), "degraded" (some), or "down" (none).
+type RouterHealth struct {
+	Status   string        `json:"status"`
+	Shards   []ShardStatus `json:"shards"`
+	Routable int           `json:"routable"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	out := RouterHealth{Shards: make([]ShardStatus, 0, len(r.shards))}
+	for _, sh := range r.shards {
+		st := ShardStatus{
+			ID:       sh.id,
+			Addr:     sh.client.Addr(),
+			Range:    r.ranges[sh.id],
+			Routable: sh.routable.Load(),
+			Breaker:  sh.breaker.State().String(),
+		}
+		if h := sh.health.Load(); h != nil {
+			st.Episode = h.Episode
+			st.CandidateLinks = h.CandidateLinks
+			st.SnapshotVersion = h.SnapshotVersion
+		}
+		if st.Routable {
+			out.Routable++
+		}
+		out.Shards = append(out.Shards, st)
+	}
+	switch out.Routable {
+	case len(r.shards):
+		out.Status = "ok"
+	case 0:
+		out.Status = "down"
+	default:
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	r.reg.WritePrometheus(w)
+}

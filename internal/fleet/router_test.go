@@ -1,0 +1,488 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"alex/internal/cluster"
+	"alex/internal/core"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/paris"
+	"alex/internal/rdf"
+	"alex/internal/server"
+	"alex/internal/synth"
+)
+
+// world is one test dataset pair: everything needed to build either a
+// single-node server or any number of shards over identical data.
+type world struct {
+	dict    *rdf.Dict
+	g1, g2  *rdf.Graph
+	sources []federation.Source
+	e1, e2  []rdf.ID
+	initial []links.Link
+	// queries exercise the federated path across the links.
+	queries []string
+}
+
+// tinyWorld hand-builds six dataset-1 entities so even a 4-shard split
+// leaves most shards non-empty, with two deliberately wrong links.
+func tinyWorld(t testing.TB) *world {
+	t.Helper()
+	dict := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(dict)
+	g2 := rdf.NewGraphWithDict(dict)
+	label := rdf.IRI("http://ds1/label")
+	name := rdf.IRI("http://ds2/name")
+	var initial []links.Link
+	id := func(term rdf.Term) rdf.ID {
+		i, ok := dict.Lookup(term)
+		if !ok {
+			t.Fatalf("unknown term %v", term)
+		}
+		return i
+	}
+	var queries []string
+	for i := 0; i < 6; i++ {
+		a := rdf.IRI(fmt.Sprintf("http://ds1/a%d", i))
+		b := rdf.IRI(fmt.Sprintf("http://ds2/b%d", i))
+		g1.Insert(rdf.Triple{S: a, P: label, O: rdf.Literal(fmt.Sprintf("thing %d", i))})
+		g2.Insert(rdf.Triple{S: b, P: name, O: rdf.Literal(fmt.Sprintf("thing %d prime", i))})
+		queries = append(queries,
+			fmt.Sprintf("SELECT ?n WHERE { <%s> <%s> ?n . }", a.Value, name.Value),
+			fmt.Sprintf("ASK { <%s> <%s> ?n . }", a.Value, name.Value),
+		)
+	}
+	for i := 0; i < 6; i++ {
+		// Links 0..3 are right; 4 and 5 are crossed (wrong on purpose).
+		j := i
+		if i >= 4 {
+			j = 9 - i // 4<->5 swapped
+		}
+		initial = append(initial, links.Link{
+			E1: id(rdf.IRI(fmt.Sprintf("http://ds1/a%d", i))),
+			E2: id(rdf.IRI(fmt.Sprintf("http://ds2/b%d", j))),
+		})
+	}
+	return &world{
+		dict: dict, g1: g1, g2: g2,
+		sources: []federation.Source{{Name: "ds1", Graph: g1}, {Name: "ds2", Graph: g2}},
+		e1:      g1.SubjectIDs(), e2: g2.SubjectIDs(),
+		initial: initial,
+		queries: queries,
+	}
+}
+
+// synthWorld is a scaled-down generated dataset with PARIS-produced
+// initial links — the repo's standard "realistic" test world.
+func synthWorld(t testing.TB) *world {
+	t.Helper()
+	prof, ok := synth.ProfileByName("dbpedia-drugbank")
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	ds := synth.Generate(prof.Scale(0.15))
+	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	initial := make([]links.Link, len(scored))
+	for i, sc := range scored {
+		initial[i] = sc.Link
+	}
+	var queries []string
+	for i, e := range ds.Entities1 {
+		if i >= 12 {
+			break
+		}
+		queries = append(queries,
+			fmt.Sprintf("SELECT ?n WHERE { <%s> <%s> ?n . }", ds.Dict.Term(e).Value, synth.P2Name.Value))
+	}
+	return &world{
+		dict: ds.Dict, g1: ds.G1, g2: ds.G2,
+		sources: []federation.Source{{Name: "ds1", Graph: ds.G1}, {Name: "ds2", Graph: ds.G2}},
+		e1:      ds.Entities1, e2: ds.Entities2,
+		initial: initial,
+		queries: queries,
+	}
+}
+
+// testFleet is a running fleet: shard servers, their HTTP frontends
+// and a router, all sharing the world's dictionary in-process.
+type testFleet struct {
+	n       int
+	shards  []*server.Server
+	https   []*httptest.Server
+	addrs   []string
+	clients []*server.Client
+	router  *Router
+	rts     *httptest.Server
+	rclient *server.Client
+}
+
+// shardEngine builds shard id's engine: the world's data restricted to
+// the dataset-1 entities (and initial links) its hash range owns.
+func shardEngine(w *world, n, id int) *core.System {
+	ranges := cluster.FleetRanges(n)
+	var e1 []rdf.ID
+	for _, e := range w.e1 {
+		if ranges[id].ContainsIRI(w.dict.Term(e).Value) {
+			e1 = append(e1, e)
+		}
+	}
+	var init []links.Link
+	for _, l := range w.initial {
+		if cluster.OwnerOf(ranges, w.dict.Term(l.E1).Value) == id {
+			init = append(init, l)
+		}
+	}
+	return core.New(w.g1, w.g2, e1, w.e2, init, core.DefaultConfig())
+}
+
+// fastBreaker trips after one failure and probes again quickly, so
+// failover tests don't wait out production cooldowns.
+func fastBreaker() federation.BreakerConfig {
+	return federation.BreakerConfig{Failures: 1, Cooldown: 100 * time.Millisecond, Successes: 1}
+}
+
+func startFleet(t testing.TB, w *world, n int, scfg server.Config) *testFleet {
+	t.Helper()
+	f := &testFleet{n: n}
+	for id := 0; id < n; id++ {
+		cfg := scfg
+		cfg.Fleet = &server.FleetConfig{ShardID: id, Shards: n, ReplicateEvery: 25 * time.Millisecond}
+		if cfg.FlushInterval == 0 {
+			cfg.FlushInterval = 20 * time.Millisecond
+		}
+		if cfg.DataDir != "" {
+			cfg.DataDir = fmt.Sprintf("%s/shard-%d", cfg.DataDir, id)
+		}
+		s, err := server.New(shardEngine(w, n, id), w.dict, w.sources, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		f.shards = append(f.shards, s)
+		f.https = append(f.https, ts)
+		f.addrs = append(f.addrs, ts.URL)
+		c := server.NewClient(ts.URL)
+		c.SetRetryPolicy(server.RetryPolicy{MaxAttempts: 1})
+		f.clients = append(f.clients, c)
+	}
+	for _, s := range f.shards {
+		if err := s.SetPeers(f.addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := New(Config{
+		Shards:         f.addrs,
+		HealthInterval: 50 * time.Millisecond,
+		Breaker:        fastBreaker(),
+		Retry:          &server.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = r
+	f.rts = httptest.NewServer(r.Handler())
+	f.rclient = server.NewClient(f.rts.URL)
+	f.rclient.SetRetryPolicy(server.RetryPolicy{MaxAttempts: 1})
+	t.Cleanup(func() {
+		f.rts.Close()
+		r.Close()
+		for i := range f.shards {
+			f.https[i].Close()
+			f.shards[i].Close()
+		}
+	})
+	return f
+}
+
+// waitServed polls until client serves exactly want links.
+func waitServed(t testing.TB, c *server.Client, want int) *server.LinksResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ls, err := c.Links()
+		if err == nil && ls.Count == want {
+			return ls
+		}
+		if time.Now().After(deadline) {
+			count := -1
+			if ls != nil {
+				count = ls.Count
+			}
+			t.Fatalf("served links = %d (err %v), want %d", count, err, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitConverged waits until every shard serves the full link set.
+func (f *testFleet) waitConverged(t testing.TB, want int) {
+	t.Helper()
+	for _, c := range f.clients {
+		waitServed(t, c, want)
+	}
+}
+
+// canon renders a response canonically: sorted injective row keys plus
+// the sorted degradation marker and the ASK verdict. Two responses
+// over the same data must canonicalize identically (acceptance:
+// rows + provenance + Degraded).
+func canon(res *server.QueryResponse) string {
+	keys := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		keys = append(keys, rowKey(r))
+	}
+	sort.Strings(keys)
+	deg := append([]string(nil), res.DegradedSources...)
+	sort.Strings(deg)
+	ask := "-"
+	if res.Ask != nil {
+		ask = fmt.Sprint(*res.Ask)
+	}
+	return strings.Join(keys, "\n") + "\n|deg:" + strings.Join(deg, ",") + "|ask:" + ask
+}
+
+// The tentpole acceptance: a router over 1, 2 and 4 shards answers
+// every test-world query canonically identically to a single-node
+// alexd over the same data.
+func TestRouterEquivalenceWithSingleNode(t *testing.T) {
+	worlds := map[string]func(testing.TB) *world{
+		"tiny":  tinyWorld,
+		"synth": synthWorld,
+	}
+	for name, mk := range worlds {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+
+			single, err := server.New(
+				core.New(w.g1, w.g2, w.e1, w.e2, w.initial, core.DefaultConfig()),
+				w.dict, w.sources, server.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sts := httptest.NewServer(single.Handler())
+			t.Cleanup(func() { sts.Close(); single.Close() })
+			sc := server.NewClient(sts.URL)
+
+			want := make([]string, len(w.queries))
+			for i, q := range w.queries {
+				res, err := sc.Query(q)
+				if err != nil {
+					t.Fatalf("single-node query %q: %v", q, err)
+				}
+				want[i] = canon(res)
+			}
+
+			for _, n := range []int{1, 2, 4} {
+				n := n
+				t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+					f := startFleet(t, w, n, server.Config{})
+					f.waitConverged(t, len(w.initial))
+					for i, q := range w.queries {
+						res, err := f.rclient.Query(q)
+						if err != nil {
+							t.Fatalf("router query %q: %v", q, err)
+						}
+						if got := canon(res); got != want[i] {
+							t.Fatalf("router answer diverges from single node for %q:\nrouter:\n%s\nsingle:\n%s", q, got, want[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// One answer row can use links owned by different shards; the router
+// must split the feedback so each group lands on (only) its owner.
+func TestRouterFeedbackSplitRouting(t *testing.T) {
+	w := tinyWorld(t)
+	n := 2
+	f := startFleet(t, w, n, server.Config{})
+	f.waitConverged(t, len(w.initial))
+
+	// Reject two links with different owners in ONE feedback request.
+	ranges := cluster.FleetRanges(n)
+	byOwner := map[int]server.LinkJSON{}
+	for _, l := range w.initial {
+		e1 := w.dict.Term(l.E1).Value
+		owner := cluster.OwnerOf(ranges, e1)
+		if _, ok := byOwner[owner]; !ok {
+			byOwner[owner] = server.LinkJSON{E1: e1, E2: w.dict.Term(l.E2).Value}
+		}
+	}
+	if len(byOwner) != 2 {
+		t.Skipf("tiny world hashed onto one shard (owners: %v)", byOwner)
+	}
+	var reject []server.LinkJSON
+	for _, lj := range byOwner {
+		reject = append(reject, lj)
+	}
+	if err := f.rclient.Feedback(reject, false); err != nil {
+		t.Fatal(err)
+	}
+	// Both removals must propagate to every shard's served set.
+	f.waitConverged(t, len(w.initial)-2)
+	ls := waitServed(t, f.rclient, len(w.initial)-2)
+	for _, l := range ls.Links {
+		for _, r := range reject {
+			if l == r {
+				t.Fatalf("rejected link %v still served", r)
+			}
+		}
+	}
+}
+
+// restartShard rebuilds shard id of the fleet on its ORIGINAL address
+// and data directory, as an operator restarting a crashed alexd would.
+func (f *testFleet) restartShard(t *testing.T, w *world, id int, scfg server.Config) {
+	t.Helper()
+	cfg := scfg
+	cfg.Fleet = &server.FleetConfig{ShardID: id, Shards: f.n, ReplicateEvery: 25 * time.Millisecond}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 20 * time.Millisecond
+	}
+	cfg.DataDir = fmt.Sprintf("%s/shard-%d", scfg.DataDir, id)
+	s, err := server.New(shardEngine(w, f.n, id), w.dict, w.sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := strings.TrimPrefix(f.addrs[id], "http://")
+	var l net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	f.shards[id] = s
+	f.https[id] = ts
+	if err := s.SetPeers(f.addrs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The failover acceptance: killing a shard loses no acked feedback
+// (fsync-before-ack + journal recovery), the router keeps serving
+// reads meanwhile, and the restarted shard rejoins and catches up.
+func TestRouterFailoverRecoversAckedFeedback(t *testing.T) {
+	w := tinyWorld(t)
+	n := 3
+	base := server.Config{DataDir: t.TempDir(), FlushInterval: 20 * time.Millisecond}
+	f := startFleet(t, w, n, base)
+	f.waitConverged(t, len(w.initial))
+
+	// Pick the wrong link a4->b5 and its owner.
+	ranges := cluster.FleetRanges(n)
+	victimLink := server.LinkJSON{E1: "http://ds1/a4", E2: "http://ds2/b5"}
+	victim := cluster.OwnerOf(ranges, victimLink.E1)
+
+	// Reject through the router (202 = journaled + fsynced at the
+	// owner), then crash the owner immediately — no drain, no
+	// checkpoint. The ack obliges recovery to resurrect the verdict.
+	if err := f.rclient.Feedback([]server.LinkJSON{victimLink}, false); err != nil {
+		t.Fatal(err)
+	}
+	f.https[victim].Close()
+	f.shards[victim].Abort()
+
+	// The router must route around the corpse: reads keep working.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := f.router.healthView()
+		if err == nil && h.Routable == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never noticed the dead shard: %+v", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err := f.rclient.Query(w.queries[0])
+	if err != nil {
+		t.Fatalf("query with a dead shard: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("query with a dead shard returned nothing")
+	}
+
+	// Writes for the dead shard's range are refused retryably; writes
+	// for live ranges still work. a5->b4 is the other wrong link.
+	if err := f.rclient.Feedback([]server.LinkJSON{victimLink}, false); err == nil {
+		t.Fatal("feedback for a dead shard's range was accepted")
+	}
+	liveLink := server.LinkJSON{E1: "http://ds1/a5", E2: "http://ds2/b4"}
+	liveRejected := false
+	if cluster.OwnerOf(ranges, liveLink.E1) != victim {
+		if err := f.rclient.Feedback([]server.LinkJSON{liveLink}, false); err != nil {
+			t.Fatalf("feedback for a live shard refused: %v", err)
+		}
+		liveRejected = true
+	}
+
+	// Restart the shard over its journal: recovery must replay the
+	// acked rejection, the router must see it healthy again, and the
+	// removal must replicate fleet-wide.
+	f.restartShard(t, w, victim, base)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		h, err := f.router.healthView()
+		if err == nil && h.Routable == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted shard never became routable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec := f.shards[victim].Recovery()
+	if rec.CheckpointSeq == 0 && rec.Replayed == 0 {
+		t.Fatal("restart recovered nothing — the acked feedback was lost")
+	}
+
+	// Every shard (and the router) converges to a served set without
+	// the rejected link(s).
+	want := len(w.initial) - 1
+	if liveRejected {
+		want--
+	}
+	newClient := server.NewClient(f.addrs[victim])
+	newClient.SetRetryPolicy(server.RetryPolicy{MaxAttempts: 1})
+	f.clients[victim] = newClient
+	f.waitConverged(t, want)
+	ls := waitServed(t, f.rclient, want)
+	for _, l := range ls.Links {
+		if l == victimLink {
+			t.Fatal("acked rejection lost after crash recovery")
+		}
+	}
+}
+
+// healthView fetches the router's own health summary in-process.
+func (r *Router) healthView() (*RouterHealth, error) {
+	rec := httptest.NewRecorder()
+	r.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h RouterHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

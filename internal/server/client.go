@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"alex/internal/cluster"
 )
 
 // ErrQueueFull is returned by Client.Feedback when the server responded
@@ -257,6 +259,14 @@ func (c *Client) FeedbackContext(ctx context.Context, rowLinks []LinkJSON, appro
 	return err
 }
 
+// FeedbackResult is FeedbackContext exposing the final HTTP status
+// (0 when no response was obtained at all). The fleet router uses it
+// to tell a client mistake (4xx, not retryable) from backpressure and
+// outages (429/5xx/transport, retryable).
+func (c *Client) FeedbackResult(ctx context.Context, rowLinks []LinkJSON, approve bool) (int, error) {
+	return c.postJSON(ctx, "/feedback", FeedbackRequest{Approve: approve, Links: rowLinks}, nil)
+}
+
 // Links fetches the published candidate link set.
 func (c *Client) Links() (*LinksResponse, error) {
 	var out LinksResponse
@@ -268,12 +278,43 @@ func (c *Client) Links() (*LinksResponse, error) {
 
 // Healthz fetches the health report.
 func (c *Client) Healthz() (*HealthResponse, error) {
+	return c.HealthzContext(context.Background())
+}
+
+// HealthzContext is Healthz bounded by ctx. The fleet router's health
+// loop uses it so one dead shard cannot stall a polling round.
+func (c *Client) HealthzContext(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse
-	if err := c.getJSON(context.Background(), "/healthz", &out); err != nil {
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
+
+// ReplicaSnapshot pulls the shard's own link-partition manifest
+// (fleet replication wire; 404 on a standalone server).
+func (c *Client) ReplicaSnapshot(ctx context.Context) (*cluster.SnapshotManifest, error) {
+	var out cluster.SnapshotManifest
+	if err := c.getJSON(ctx, "/replica/snapshot", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReplicaPush offers a manifest to a peer shard. applied=false means
+// the peer already held an equal-or-newer episode from that shard.
+func (c *Client) ReplicaPush(ctx context.Context, m cluster.SnapshotManifest) (applied bool, err error) {
+	var out struct {
+		Applied bool `json:"applied"`
+	}
+	if _, err := c.postJSON(ctx, "/replica/push", m, &out); err != nil {
+		return false, err
+	}
+	return out.Applied, nil
+}
+
+// Addr returns the client's normalized base URL.
+func (c *Client) Addr() string { return c.base }
 
 // MetricsText fetches the raw Prometheus exposition.
 func (c *Client) MetricsText() (string, error) {

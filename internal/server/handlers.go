@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"alex/internal/cluster"
 	"alex/internal/federation"
 	"alex/internal/links"
 	"alex/internal/rdf"
@@ -112,10 +113,39 @@ type JournalHealth struct {
 	Replayed      int    `json:"replayed"`
 }
 
+// PeerHealth reports the newest replicated manifest a shard holds from
+// one of its peers.
+type PeerHealth struct {
+	ShardID int `json:"shard_id"`
+	Episode int `json:"episode"`
+	Links   int `json:"links"`
+}
+
+// ShardHealth reports a fleet shard's identity: which slice of the
+// hash space it owns, how far its own exploration has progressed, and
+// what it has replicated in from each peer. The router's health loop
+// reads it; so do humans debugging a fleet.
+type ShardHealth struct {
+	ID     int               `json:"id"`
+	Shards int               `json:"shards"`
+	Range  cluster.HashRange `json:"range"`
+	// RangeText is Range rendered for humans ("[0x…, 0x…)").
+	RangeText string `json:"range_text"`
+	// OwnEpisode is the local engine's episode — the manifest episode
+	// peers will see from this shard.
+	OwnEpisode int `json:"own_episode"`
+	// OwnLinks counts the shard's own candidate partition (the served
+	// total including peers is candidate_links at the top level).
+	OwnLinks int          `json:"own_links"`
+	Peers    []PeerHealth `json:"peers,omitempty"`
+}
+
 // HealthResponse reports liveness, writer progress, per-source breaker
-// state and the durability layer.
+// state and the durability layer. Role is "standalone" or "shard";
+// Shard is set only for fleet members.
 type HealthResponse struct {
 	Status          string         `json:"status"`
+	Role            string         `json:"role"`
 	SnapshotVersion uint64         `json:"snapshot_version"`
 	SnapshotAgeSecs float64        `json:"snapshot_age_seconds"`
 	Episode         int            `json:"episode"`
@@ -124,6 +154,7 @@ type HealthResponse struct {
 	QueueCapacity   int            `json:"queue_capacity"`
 	Sources         []SourceHealth `json:"sources"`
 	Journal         JournalHealth  `json:"journal"`
+	Shard           *ShardHealth   `json:"shard,omitempty"`
 }
 
 type errorResponse struct {
@@ -137,6 +168,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/links", s.handleLinks)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/replica/snapshot", s.handleReplicaSnapshot)
+	mux.HandleFunc("/replica/push", s.handleReplicaPush)
 	return s.recoverMiddleware(mux)
 }
 
@@ -185,6 +218,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Admission: with MaxConcurrentQueries set, wait for an evaluation
+	// slot within the request's own deadline; an overloaded server then
+	// backpressures with 503 + Retry-After instead of piling up work
+	// and timing out everything at once.
+	if s.querySem != nil {
+		select {
+		case s.querySem <- struct{}{}:
+			defer func() { <-s.querySem }()
+		case <-ctx.Done():
+			s.metrics.queryAdmissionDrops.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query concurrency limit reached, retry later"})
+			return
+		}
+	}
 
 	// Lock-free read path: load the current snapshot once and evaluate
 	// entirely against it. Concurrent episodes publish new snapshots but
@@ -287,6 +336,19 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	item := feedbackItem{positive: req.Approve, links: make([]links.Link, 0, len(req.Links))}
 	for _, lj := range req.Links {
+		// A fleet shard only accepts links it owns. Accepting a misrouted
+		// link would fork ownership: this shard would journal and explore
+		// a link the true owner never sees, and replication (keyed by
+		// owner) would silently drop it. 400, not 503 — the router must
+		// fix its routing, not retry.
+		if s.fleet != nil {
+			if owner := cluster.OwnerOf(s.ranges, lj.E1); owner != s.fleet.ShardID {
+				writeJSON(w, http.StatusBadRequest, errorResponse{
+					Error: fmt.Sprintf("link %q belongs to shard %d, this is shard %d", lj.E1, owner, s.fleet.ShardID),
+				})
+				return
+			}
+		}
 		l, err := s.resolveLink(lj)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -354,8 +416,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for i, st := range statuses {
 		srcs[i] = SourceHealth{Name: st.Name, Guarded: st.Guarded, Breaker: st.Breaker.String()}
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	out := HealthResponse{
 		Status:          "ok",
+		Role:            "standalone",
 		SnapshotVersion: snap.Version,
 		SnapshotAgeSecs: time.Since(snap.Published).Seconds(),
 		Episode:         snap.Episode,
@@ -368,7 +431,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			CheckpointSeq: s.recovery.CheckpointSeq,
 			Replayed:      s.recovery.Replayed,
 		},
-	})
+	}
+	if s.fleet != nil {
+		rng := s.ranges[s.fleet.ShardID]
+		out.Role = "shard"
+		out.Shard = &ShardHealth{
+			ID:         s.fleet.ShardID,
+			Shards:     s.fleet.Shards,
+			Range:      rng,
+			RangeText:  rng.String(),
+			OwnEpisode: snap.Episode,
+			OwnLinks:   snap.Own.Len(),
+			Peers:      s.peerHealth(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"alex/internal/cluster"
 	"alex/internal/core"
 	"alex/internal/federation"
 	"alex/internal/links"
@@ -122,6 +123,16 @@ type Config struct {
 	// by all published snapshots; 0 or negative means
 	// federation.DefaultPlanCacheSize.
 	PlanCacheSize int
+	// MaxConcurrentQueries caps in-flight /query evaluations; excess
+	// requests wait for a slot until their deadline, then get 503 +
+	// Retry-After. 0 means unlimited. Fleet routers use this so one
+	// shard's overload surfaces as backpressure instead of timeouts.
+	MaxConcurrentQueries int
+	// Fleet, when non-nil, runs this server as one shard of a
+	// partitioned fleet (see fleet.go). It owns a contiguous range of
+	// the entity-hash space, replicates its link snapshot to peers and
+	// serves full reads from the union.
+	Fleet *FleetConfig
 }
 
 // DefaultConfig returns serving defaults suitable for interactive use.
@@ -161,10 +172,15 @@ func (c Config) withDefaults() Config {
 
 // Snapshot is one published, immutable view of the link set: queries
 // evaluate against Fed, /links serves Links. Both are frozen at
-// publication time.
+// publication time. On a fleet shard, Links is the FULL served set
+// (own partition ∪ newest peer manifests) while Own is the shard's
+// authoritative slice — what it replicates out; Episode is always the
+// local engine's episode (peer manifests republish without advancing
+// it). Standalone, Own aliases Links.
 type Snapshot struct {
 	Fed       *federation.Federator
 	Links     links.Set
+	Own       links.Set
 	Version   uint64
 	Episode   int
 	Published time.Time
@@ -216,6 +232,23 @@ type Server struct {
 	closing  sync.Once
 	aborting sync.Once
 
+	// querySem is the /query admission semaphore (nil = unlimited).
+	querySem chan struct{}
+
+	// Fleet role (all nil/zero when standalone; see fleet.go). peerMu
+	// guards peerSets and peerClients; kick wakes the replicator, repub
+	// asks the writer to republish after a peer manifest lands, repDone
+	// closes when the replicator goroutine exits.
+	fleet        *FleetConfig
+	ranges       []cluster.HashRange
+	peerMu       sync.Mutex
+	peerSets     map[int]peerState
+	peerClients  map[int]*Client
+	kick         chan struct{}
+	repub        chan struct{}
+	repDone      chan struct{}
+	fleetMetrics fleetMetrics
+
 	// w is the writer goroutine's state. New touches it during replay,
 	// strictly before the goroutine starts.
 	w writerState
@@ -238,23 +271,24 @@ type writerState struct {
 }
 
 type serverMetrics struct {
-	queries            *Counter
-	queryErrors        *Counter
-	queryTimeouts      *Counter
-	queryRows          *Counter
-	queryDuration      *Histogram
-	degradedQueries    *Counter
-	feedbackQueued     *Counter
-	feedbackThrottled  *Counter
-	feedbackLinks      *Counter
-	episodes           *Counter
-	episodeDuration    *Histogram
-	panics             *Counter
-	journalFsync       *Histogram
-	journalErrors      *Counter
-	checkpoints        *Counter
-	checkpointErrors   *Counter
-	checkpointDuration *Histogram
+	queries             *Counter
+	queryErrors         *Counter
+	queryTimeouts       *Counter
+	queryAdmissionDrops *Counter
+	queryRows           *Counter
+	queryDuration       *Histogram
+	degradedQueries     *Counter
+	feedbackQueued      *Counter
+	feedbackThrottled   *Counter
+	feedbackLinks       *Counter
+	episodes            *Counter
+	episodeDuration     *Histogram
+	panics              *Counter
+	journalFsync        *Histogram
+	journalErrors       *Counter
+	checkpoints         *Counter
+	checkpointErrors    *Counter
+	checkpointDuration  *Histogram
 }
 
 // New builds a Server over an engine and the federation sources the
@@ -289,7 +323,15 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 		done:  make(chan struct{}),
 		reg:   NewRegistry(),
 	}
+	if cfg.MaxConcurrentQueries > 0 {
+		s.querySem = make(chan struct{}, cfg.MaxConcurrentQueries)
+	}
 	s.registerMetrics()
+	if cfg.Fleet != nil {
+		if err := s.initFleet(cfg.Fleet); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.DataDir != "" {
 		if err := s.recover(); err != nil {
 			return nil, err
@@ -299,6 +341,9 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 	s.publish(1)
 	s.mux = s.routes()
 	go s.writer()
+	if s.fleet != nil {
+		go s.replicator()
+	}
 	return s, nil
 }
 
@@ -365,6 +410,7 @@ func (s *Server) registerMetrics() {
 	m.queries = s.reg.Counter("alexd_queries_total", "Federated queries served.")
 	m.queryErrors = s.reg.Counter("alexd_query_errors_total", "Queries rejected or failed (parse/eval errors).")
 	m.queryTimeouts = s.reg.Counter("alexd_query_timeouts_total", "Queries abandoned on deadline.")
+	m.queryAdmissionDrops = s.reg.Counter("alexd_query_admission_drops_total", "Queries refused with 503 because no evaluation slot freed up in time.")
 	m.queryRows = s.reg.Counter("alexd_query_rows_total", "Answer rows returned across all queries.")
 	m.queryDuration = s.reg.Histogram("alexd_query_duration_seconds", "Query evaluation latency.", nil)
 	m.degradedQueries = s.reg.Counter("alexd_degraded_queries_total", "Queries that returned partial results because a source was unavailable.")
@@ -432,13 +478,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *Registry { return s.reg }
 
 // publish builds a fresh immutable snapshot from the engine's current
-// candidate set. Writer-goroutine only (plus from New, before the
-// writer starts).
+// candidate set — unioned with the newest peer manifests on a fleet
+// shard, so reads are always full. Writer-goroutine only (plus from
+// New, before the writer starts).
 func (s *Server) publish(version uint64) {
-	cands := s.eng.Candidates()
+	own := s.eng.Candidates()
+	served := s.peerUnion(own)
 	s.snap.Store(&Snapshot{
-		Fed:       s.base.WithLinks(cands),
-		Links:     cands,
+		Fed:       s.base.WithLinks(served),
+		Links:     served,
+		Own:       own,
 		Version:   version,
 		Episode:   s.eng.Episode(),
 		Published: time.Now(),
@@ -481,6 +530,8 @@ func (s *Server) finishEpisode() {
 	if !s.w.replaying {
 		s.w.version++
 		s.publish(s.w.version)
+		// On a fleet shard, every published episode is replicated out.
+		s.kickReplicator()
 	}
 	if s.w.sinceCkpt >= s.cfg.CheckpointEvery {
 		s.checkpoint()
@@ -546,6 +597,12 @@ func (s *Server) writer() {
 			s.applyItem(it)
 		case <-flush.C:
 			s.finishEpisode()
+		case <-s.repub:
+			// A peer manifest landed (fleet only; the channel is nil and
+			// never fires standalone): fold it into a fresh snapshot.
+			// Publication stays writer-only.
+			s.w.version++
+			s.publish(s.w.version)
 		case <-s.die:
 			return // simulated crash: no drain, no checkpoint
 		case <-s.stop:
@@ -627,6 +684,9 @@ func (s *Server) Close() error {
 	case <-time.After(s.cfg.DrainTimeout):
 		return fmt.Errorf("server: writer did not drain within %s", s.cfg.DrainTimeout)
 	}
+	if s.repDone != nil {
+		<-s.repDone
+	}
 	if s.log != nil {
 		s.logMu.Lock()
 		defer s.logMu.Unlock()
@@ -642,4 +702,15 @@ func (s *Server) Close() error {
 func (s *Server) abort() {
 	s.aborting.Do(func() { close(s.die) })
 	<-s.done
+	if s.repDone != nil {
+		<-s.repDone
+	}
 }
+
+// Abort is the exported crash simulation: the writer (and, on a fleet
+// shard, the replicator) exits immediately — no drain, no final
+// episode, no checkpoint. The journal stays on disk exactly as a real
+// crash would leave it, so a subsequent New over the same data
+// directory must recover every acknowledged item. Fleet failover tests
+// kill shards with it.
+func (s *Server) Abort() { s.abort() }
