@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query bench-fleet fleet-smoke clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query bench-fleet fleet-smoke fleet-chaos clean
 
 all: verify
 
@@ -68,6 +68,12 @@ bench-fleet:
 # degraded-but-correct serving, restarts it and asserts recovery.
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# fleet-chaos is the seeded chaos drill: 3 shards behind faultnetd
+# proxies (latency, drops, 5xx, partition) plus a SIGKILL'd shard;
+# asserts zero acked-feedback loss and answer identity vs single-node.
+fleet-chaos:
+	./scripts/fleet_chaos.sh
 
 clean:
 	$(GO) clean ./...

@@ -83,6 +83,8 @@ func main() {
 	shardID := flag.Int("shard-id", -1, "this shard's ID within -fleet (-1 = standalone)")
 	fleetList := flag.String("fleet", "", "comma-separated addresses of ALL fleet shards in shard-ID order (requires -shard-id)")
 	replicateEvery := flag.Duration("replicate-every", 2*time.Second, "fleet anti-entropy pull interval (with -fleet)")
+	routersList := flag.String("routers", "", "comma-separated router addresses to push health transitions to (with -fleet)")
+	txnResolveAfter := flag.Duration("txn-resolve-after", 0, "grace period before consulting peers about an unresolved prepare (0 = 10s; must exceed the router prepare deadline)")
 	flag.Parse()
 
 	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
@@ -180,7 +182,19 @@ func main() {
 			}
 		}
 		initial = keptLinks
-		fleetCfg = &server.FleetConfig{ShardID: *shardID, Shards: len(peers), ReplicateEvery: *replicateEvery}
+		var routers []string
+		if *routersList != "" {
+			for _, a := range strings.Split(*routersList, ",") {
+				routers = append(routers, strings.TrimSpace(a))
+			}
+		}
+		fleetCfg = &server.FleetConfig{
+			ShardID:         *shardID,
+			Shards:          len(peers),
+			ReplicateEvery:  *replicateEvery,
+			Routers:         routers,
+			TxnResolveAfter: *txnResolveAfter,
+		}
 		log.Printf("shard %d/%d owns range %s: %d/%d entities, %d/%d initial links",
 			*shardID, len(peers), own, len(e1), allE1, len(initial), allInit)
 	}

@@ -44,6 +44,9 @@ func main() {
 	healthInterval := flag.Duration("health-interval", time.Second, "shard /healthz poll interval")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "scatter-gather deadline per /query")
 	fanout := flag.Int("fanout", 0, "shards each /query scatters to (0 = all routable shards)")
+	healthProbeTimeout := flag.Duration("health-probe-timeout", 0, "deadline per shard /healthz probe (0 = 2s default)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed delay before hedging a slow sub-query to a peer (0 = adaptive p95)")
+	noHedge := flag.Bool("no-hedge", false, "disable hedged failover reads")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive shard failures that open its circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
 	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
@@ -67,10 +70,12 @@ func main() {
 	}
 
 	r, err := fleet.New(fleet.Config{
-		Shards:         addrs,
-		HealthInterval: *healthInterval,
-		QueryTimeout:   *queryTimeout,
-		QueryFanout:    *fanout,
+		Shards:             addrs,
+		HealthInterval:     *healthInterval,
+		QueryTimeout:       *queryTimeout,
+		QueryFanout:        *fanout,
+		HealthProbeTimeout: *healthProbeTimeout,
+		Hedge:              fleet.HedgeConfig{Disabled: *noHedge, Delay: *hedgeDelay},
 		Breaker: federation.BreakerConfig{
 			Failures:  *breakerFailures,
 			Cooldown:  *breakerCooldown,

@@ -1,0 +1,73 @@
+// Command faultnetd is the network sibling of the faultfs story: a
+// chaos reverse proxy that sits between routers and shards (or clients
+// and routers) and injects seeded, deterministic network faults —
+// latency, connection drops, 5xx bursts, slow-loris bodies and
+// asymmetric partitions.
+//
+// Proxy a shard with 50ms latency already armed:
+//
+//	faultnetd -listen :9081 -target localhost:8081 -seed 42 \
+//	  -faults '{"latency":50000000}'
+//
+// The fault profile is reconfigured live:
+//
+//	curl -X POST localhost:9081/_faultnet/set -d '{"partition":true}'
+//	curl localhost:9081/_faultnet/stats
+//
+// Everything else is forwarded verbatim, so the proxied service's wire
+// contract is unchanged — the chaos drill's journal audit and answer
+// diffing run against the same endpoints as production.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"alex/internal/faultnet"
+)
+
+func main() {
+	listen := flag.String("listen", ":9080", "proxy listen address")
+	target := flag.String("target", "", "address to forward to (required)")
+	seed := flag.Int64("seed", 1, "fault-injection RNG seed")
+	faults := flag.String("faults", "", "initial fault profile as JSON (see faultnet.Faults)")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "faultnetd: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := faultnet.NewProxy(*seed, *listen, *target)
+	if err != nil {
+		fatal(err)
+	}
+	if *faults != "" {
+		var f faultnet.Faults
+		if err := json.Unmarshal([]byte(*faults), &f); err != nil {
+			fatal(fmt.Errorf("bad -faults: %v", err))
+		}
+		p.Transport().SetFaults("", f)
+	}
+	p.Start()
+	log.Printf("faultnetd proxying %s -> %s (seed %d)", p.Addr(), *target, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down...")
+	if err := p.Close(); err != nil {
+		log.Printf("faultnetd: %v", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "faultnetd: %v\n", err)
+	os.Exit(1)
+}

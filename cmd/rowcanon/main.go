@@ -1,0 +1,60 @@
+// Command rowcanon canonicalizes a /query response for answer-identity
+// checks: it reads a QueryResponse JSON on stdin and prints one line
+// per row — variables sorted, terms rendered, rows sorted — so that
+// two answers are byte-identical under diff(1) exactly when they bind
+// the same rows, regardless of row order, snapshot version or
+// degradation markers. The fleet chaos drill pipes the router's answer
+// and a single-node answer through it and diffs the outputs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"alex/internal/server"
+)
+
+func main() {
+	var qr server.QueryResponse
+	if err := json.NewDecoder(os.Stdin).Decode(&qr); err != nil {
+		fmt.Fprintf(os.Stderr, "rowcanon: bad QueryResponse on stdin: %v\n", err)
+		os.Exit(1)
+	}
+	lines := make([]string, 0, len(qr.Rows))
+	for _, row := range qr.Rows {
+		vars := make([]string, 0, len(row.Binding))
+		for v := range row.Binding {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		parts := make([]string, 0, len(vars))
+		for _, v := range vars {
+			t := row.Binding[v]
+			s := fmt.Sprintf("%s=%s:%q", v, t.Kind, t.Value)
+			if t.Datatype != "" {
+				s += "^^" + t.Datatype
+			}
+			if t.Lang != "" {
+				s += "@" + t.Lang
+			}
+			parts = append(parts, s)
+		}
+		lines = append(lines, strings.Join(parts, "\t"))
+	}
+	sort.Strings(lines)
+	w := bufio.NewWriter(os.Stdout)
+	if qr.Ask != nil {
+		fmt.Fprintf(w, "ask=%v\n", *qr.Ask)
+	}
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "rowcanon: %v\n", err)
+		os.Exit(1)
+	}
+}

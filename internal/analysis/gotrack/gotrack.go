@@ -1,6 +1,7 @@
 // Package gotrack forbids orphan goroutines in the daemon packages:
-// every goroutine launched in internal/server, internal/cluster and
-// internal/fleet must be tied to a shutdown or completion path.
+// every goroutine launched in internal/server, internal/cluster,
+// internal/fleet and internal/faultnet must be tied to a shutdown or
+// completion path.
 //
 // alexd's graceful drain (Server.Close) and the chaos tests' crash
 // simulation both assume the process knows about every goroutine it
@@ -43,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "gotrack",
 	Doc:  "flags goroutines not tied to a WaitGroup, done-channel, context, or stop-channel",
 	Match: func(p string) bool {
-		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet")
+		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet", "alex/internal/faultnet")
 	},
 	Run: run,
 }

@@ -53,10 +53,18 @@ func (r HashRange) String() string {
 	return fmt.Sprintf("[%#016x, %#016x)", r.Lo, hi)
 }
 
-// EntityHash maps an entity IRI to its position in the hash space
-// (64-bit FNV-1a). The function is part of the fleet wire contract:
-// every node must compute identical ownership, so it must never change
-// while a deployment's journals are live.
+// EntityHash maps an entity IRI to its position in the hash space:
+// 64-bit FNV-1a followed by an avalanche finalizer (SplitMix64's
+// mixer). The finalizer is load-bearing, not decoration — OwnerOf
+// partitions the space by the TOP bits, and raw FNV-1a barely
+// diffuses a trailing-byte difference upward (one multiply moves the
+// last byte only into bits ~40–48), so sequential IRIs like
+// .../resource/E0, E1, E2 … all share their high bits and collapse
+// onto a single shard. The mixer spreads every input bit across the
+// whole word, restoring the ~1/n per-range balance the fleet sizing
+// assumes. The function is part of the fleet wire contract: every node
+// must compute identical ownership, so it must never change while a
+// deployment's journals are live.
 func EntityHash(iri string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -67,6 +75,11 @@ func EntityHash(iri string) uint64 {
 		h ^= uint64(iri[i])
 		h *= prime64
 	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return h
 }
 
@@ -133,4 +146,15 @@ type SnapshotManifest struct {
 	// time, for observability (episode, not version, decides staleness).
 	Version uint64     `json:"version"`
 	Links   []LinkWire `json:"links"`
+}
+
+// HealthPush is the POST /router/health body: a shard telling a router
+// about its own health transition, so failover reacts in milliseconds
+// instead of waiting out the router's poll interval. "down" is pushed
+// on graceful shutdown and trusted immediately; "up" is pushed on
+// startup and only triggers a verification probe (a shard cannot vouch
+// for its own reachability from the router's side of the network).
+type HealthPush struct {
+	ShardID int    `json:"shard_id"`
+	Status  string `json:"status"` // "up" or "down"
 }

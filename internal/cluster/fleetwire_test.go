@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -154,11 +155,13 @@ func TestOwnerOfMatchesContains(t *testing.T) {
 
 // EntityHash is a wire contract: pin known values so an accidental
 // algorithm change (which would re-partition every live deployment)
-// fails loudly.
+// fails loudly. Pins are FNV-1a + the SplitMix64 finalizer — the
+// finalizer is deliberate (top-bit balance for OwnerOf), so these
+// values changed exactly once, with it.
 func TestEntityHashPinned(t *testing.T) {
 	cases := map[string]uint64{
-		"":              14695981039346656037,
-		"a":             0xaf63dc4c8601ec8c,
+		"":              0xf52a15e9a9b5e89b,
+		"a":             0x02c0bdbf481420f8,
 		"http://ds1/a1": EntityHash("http://ds1/a1"), // self-consistency
 	}
 	for iri, want := range cases {
@@ -168,5 +171,29 @@ func TestEntityHashPinned(t *testing.T) {
 	}
 	if EntityHash("http://ds1/a1") == EntityHash("http://ds1/a2") {
 		t.Fatal("distinct IRIs should hash apart")
+	}
+}
+
+// Sequential IRIs (the shape every generated or scraped dataset has)
+// must spread across shards. Raw FNV-1a failed this badly: its last
+// multiply leaves the top bits — which OwnerOf partitions by — almost
+// untouched by trailing-byte differences, so .../E0 … .../E99 all
+// landed on one shard and a "fleet" degenerated to a single writer.
+// The SplitMix64 finalizer restores balance; keep it honest.
+func TestEntityHashSequentialIRIBalance(t *testing.T) {
+	const total = 300
+	for _, n := range []int{2, 3, 4} {
+		ranges := FleetRanges(n)
+		counts := make([]int, n)
+		for i := 0; i < total; i++ {
+			counts[OwnerOf(ranges, fmt.Sprintf("http://ds1.example.org/resource/E%d", i))]++
+		}
+		// Loose bound: every shard owns at least half its fair share.
+		for id, c := range counts {
+			if c < total/(2*n) {
+				t.Fatalf("n=%d: shard %d owns %d of %d sequential IRIs (fair share %d): %v",
+					n, id, c, total, total/n, counts)
+			}
+		}
 	}
 }

@@ -1,0 +1,101 @@
+// Cross-shard transaction wire types: the prepare/commit vocabulary
+// shared by the fleet router (coordinator) and the shards (owners).
+//
+// A feedback batch whose links span shard owners cannot be acked link
+// by link — a crash between two owners' acks would leave the batch
+// half-applied, which the single-node WAL contract (202 means durable,
+// all of it) forbids. Instead the router assigns the batch a random ID,
+// sends each owner its slice of the links as a *prepare*, and acks the
+// client only after every owner has journaled (and fsynced) a prepared
+// record. The commit that follows is asynchronous: prepared state is
+// durable on every owner, so the outcome is already decided — any
+// owner that restarts before its commit mark arrives recovers it by
+// asking its peers (DecideTxn below).
+//
+// The protocol is deliberately not full 2PC: there is no coordinator
+// log. The router is stateless, so a router crash after the ack loses
+// nothing — the owners' journals collectively encode the outcome, and
+// each owner's resolver reconstructs it. See DESIGN.md for the
+// decision record.
+package cluster
+
+// Transaction statuses as they appear on the wire (/txn/status) and in
+// resolver decisions. Unknown means the shard has no record of the
+// transaction — either it never prepared, or the outcome was resolved
+// long ago and pruned.
+const (
+	TxnUnknown   = "unknown"
+	TxnPrepared  = "prepared"
+	TxnCommitted = "committed"
+	TxnAborted   = "aborted"
+)
+
+// TxnPrepare is one owner's slice of a cross-shard feedback batch. It
+// is both the /txn/prepare request body and the journaled payload of a
+// wal.KindPrepare record.
+type TxnPrepare struct {
+	// ID is the router-assigned batch ID, shared by every owner's
+	// prepare. Resends with the same ID are idempotent.
+	ID string `json:"id"`
+	// Owners lists the shard IDs participating in the batch (including
+	// the receiver), so a recovering owner knows which peers to consult
+	// for the outcome.
+	Owners []int `json:"owners"`
+	// Approve and Links mirror FeedbackRequest: the slice of the batch
+	// owned by the receiving shard.
+	Approve bool       `json:"approve"`
+	Links   []LinkWire `json:"links"`
+}
+
+// TxnMark is the /txn/commit and /txn/abort request body and the
+// journaled payload of wal.KindCommit / wal.KindAbort records.
+type TxnMark struct {
+	ID string `json:"id"`
+}
+
+// TxnStatusReply is the /txn/status response body.
+type TxnStatusReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// DecideTxn resolves the outcome of a prepared transaction from the
+// statuses reported by the other participants. It is only safe to call
+// when every status was actually obtained (unreachable peers must stall
+// the decision, not default to unknown) and after a grace period longer
+// than the router's prepare deadline, so "unknown" can only mean the
+// peer never journaled a prepare — not that its prepare is still in
+// flight.
+//
+// The rules, in precedence order:
+//
+//   - any peer committed → committed (the outcome was decided; commit
+//     marks only exist for fully-prepared batches);
+//   - any peer aborted or unknown → aborted (some owner never prepared
+//     or already resolved to abort, so the router can never have acked
+//     the batch);
+//   - all peers prepared → committed. The router acks after the last
+//     prepare succeeds, so a fully-prepared batch is one the client
+//     either saw acked or will retry; committing matches the
+//     at-least-once contract either way.
+//
+// An unrecognized status yields "" — the caller must keep the
+// transaction pending rather than guess.
+func DecideTxn(peerStatuses []string) string {
+	sawAbort := false
+	for _, s := range peerStatuses {
+		switch s {
+		case TxnCommitted:
+			return TxnCommitted
+		case TxnAborted, TxnUnknown:
+			sawAbort = true
+		case TxnPrepared:
+		default:
+			return ""
+		}
+	}
+	if sawAbort {
+		return TxnAborted
+	}
+	return TxnCommitted
+}

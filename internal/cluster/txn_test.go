@@ -1,0 +1,24 @@
+package cluster
+
+import "testing"
+
+func TestDecideTxn(t *testing.T) {
+	cases := []struct {
+		name  string
+		peers []string
+		want  string
+	}{
+		{"all prepared commits", []string{TxnPrepared, TxnPrepared}, TxnCommitted},
+		{"no peers commits", nil, TxnCommitted},
+		{"any committed wins", []string{TxnUnknown, TxnCommitted}, TxnCommitted},
+		{"committed beats aborted", []string{TxnAborted, TxnCommitted}, TxnCommitted},
+		{"unknown aborts", []string{TxnPrepared, TxnUnknown}, TxnAborted},
+		{"aborted aborts", []string{TxnAborted, TxnPrepared}, TxnAborted},
+		{"garbage stalls", []string{TxnPrepared, "wedged"}, ""},
+	}
+	for _, c := range cases {
+		if got := DecideTxn(c.peers); got != c.want {
+			t.Errorf("%s: DecideTxn(%v) = %q, want %q", c.name, c.peers, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, strings.Repeat("x", 2048))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	c := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	return c.Get(url)
+}
+
+func drain(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close body: %v", err)
+	}
+	return string(data)
+}
+
+func TestTransportPassthroughAndCounts(t *testing.T) {
+	ts := testServer(t)
+	tr := New(1, nil)
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, tr, ts.URL+"/query")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if body := drain(t, resp); len(body) != 2048 {
+			t.Fatalf("body length %d", len(body))
+		}
+	}
+	host := strings.TrimPrefix(ts.URL, "http://")
+	if got := tr.Requests(host, "/query"); got != 3 {
+		t.Fatalf("counted %d requests, want 3", got)
+	}
+	if got := tr.HostRequests(host); got != 3 {
+		t.Fatalf("host total %d, want 3", got)
+	}
+}
+
+func TestTransportPartition(t *testing.T) {
+	ts := testServer(t)
+	tr := New(1, nil)
+	host := strings.TrimPrefix(ts.URL, "http://")
+	tr.SetFaults(host, Faults{Partition: true})
+	if _, err := get(t, tr, ts.URL+"/"); !errors.Is(err, ErrPartition) {
+		t.Fatalf("partitioned get: %v, want ErrPartition", err)
+	}
+	// Partitioned attempts are still counted (the drill's rate audit
+	// needs them) and healing restores service.
+	if got := tr.HostRequests(host); got != 1 {
+		t.Fatalf("counted %d, want 1", got)
+	}
+	tr.ClearFaults(host)
+	resp, err := get(t, tr, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	drain(t, resp)
+}
+
+func TestTransportDeterministicDrops(t *testing.T) {
+	run := func(seed int64) []bool {
+		ts := testServer(t)
+		tr := New(seed, nil)
+		tr.SetFaults("", Faults{DropProb: 0.5})
+		var fates []bool
+		for i := 0; i < 32; i++ {
+			resp, err := get(t, tr, ts.URL+"/")
+			if err == nil {
+				drain(t, resp)
+			} else if !errors.Is(err, ErrDropped) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			fates = append(fates, err == nil)
+		}
+		return fates
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 runs diverged at request %d", i)
+		}
+	}
+	dropped := 0
+	for _, ok := range a {
+		if !ok {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("DropProb 0.5 dropped %d/%d", dropped, len(a))
+	}
+}
+
+func TestTransportErrBurst(t *testing.T) {
+	ts := testServer(t)
+	tr := New(7, nil)
+	tr.SetFaults("", Faults{ErrProb: 1})
+	resp, err := get(t, tr, ts.URL+"/feedback")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Faultnet") != "injected" {
+		t.Fatalf("missing injection marker")
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	ts := testServer(t)
+	tr := New(3, nil)
+	tr.SetFaults("", Faults{Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/", nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: tr}).Do(req)
+	if err == nil {
+		t.Fatal("expected context expiry")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("context expiry took %s; the latency sleep ignored ctx", elapsed)
+	}
+}
+
+func TestTransportSlowBody(t *testing.T) {
+	ts := testServer(t)
+	tr := New(5, nil)
+	tr.SetFaults("", Faults{SlowBody: 20 * time.Millisecond, SlowChunk: 512})
+	resp, err := get(t, tr, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	start := time.Now()
+	body := drain(t, resp)
+	if len(body) != 2048 {
+		t.Fatalf("body length %d", len(body))
+	}
+	// 2048 bytes at 512/chunk = 4 chunks, 3 inter-chunk sleeps minimum.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("slow body arrived in %s", elapsed)
+	}
+}
+
+func TestProxyInjectsAndReports(t *testing.T) {
+	ts := testServer(t)
+	p, err := NewProxy(11, "127.0.0.1:0", ts.URL)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	p.Start()
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	base := "http://" + p.Addr()
+	resp, err := http.Get(base + "/query")
+	if err != nil {
+		t.Fatalf("through proxy: %v", err)
+	}
+	if body := drain(t, resp); len(body) != 2048 {
+		t.Fatalf("proxied body length %d", len(body))
+	}
+
+	// Reconfigure to a full partition via the admin endpoint.
+	resp, err = http.Post(base+"/_faultnet/set", "application/json",
+		strings.NewReader(`{"partition":true}`))
+	if err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	drain(t, resp)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("set status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/query")
+	if err != nil {
+		t.Fatalf("partitioned proxy get: %v", err)
+	}
+	drain(t, resp)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partitioned status %d, want 502", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/_faultnet/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	stats := drain(t, resp)
+	if !strings.Contains(stats, "/query") {
+		t.Fatalf("stats missing /query counter: %s", stats)
+	}
+}

@@ -1,0 +1,122 @@
+package faultnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Proxy is faultnet out of process: a reverse proxy in front of one
+// upstream, forwarding through a fault-injecting Transport. Shell
+// drills put one between the router and each shard, then reconfigure
+// faults mid-run through the admin endpoints:
+//
+//	POST /_faultnet/set    body: Faults JSON — replace the profile
+//	GET  /_faultnet/stats  counters as {"host":{"path":n}}
+//
+// Everything else is forwarded verbatim, so the router talks to the
+// proxy exactly as it would to the shard.
+type Proxy struct {
+	tr     *Transport
+	target *url.URL
+	ln     net.Listener
+	srv    *http.Server
+	wg     sync.WaitGroup
+}
+
+// NewProxy builds a proxy for upstream target (host:port or URL),
+// listening on listen (host:port, empty port picks a free one), with
+// all injected randomness derived from seed.
+func NewProxy(seed int64, listen, target string) (*Proxy, error) {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: target: %w", err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{tr: New(seed, nil), target: u, ln: ln}
+	rp := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(u)
+			pr.Out.Host = u.Host
+		},
+		Transport: p.tr,
+		// Stream slow-loris bodies chunk by chunk instead of buffering
+		// them away.
+		FlushInterval: -1,
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			w.WriteHeader(http.StatusBadGateway)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/_faultnet/set", p.handleSet)
+	mux.HandleFunc("/_faultnet/stats", p.handleStats)
+	mux.Handle("/", rp)
+	p.srv = &http.Server{Handler: mux}
+	return p, nil
+}
+
+// Transport exposes the proxy's fault injector (in-process callers;
+// shell drills use the admin endpoints instead).
+func (p *Proxy) Transport() *Transport { return p.tr }
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Start serves until Close. It returns immediately; the serve loop
+// runs in a tracked goroutine.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := p.srv.Serve(p.ln); err != nil && err != http.ErrServerClosed {
+			// The listener died under us; nothing to clean up beyond what
+			// Close already does.
+			_ = err
+		}
+	}()
+}
+
+// Close shuts the proxy down and waits for the serve loop to exit.
+func (p *Proxy) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := p.srv.Shutdown(ctx)
+	p.wg.Wait()
+	return err
+}
+
+// handleSet replaces the default fault profile (all upstream hosts —
+// the proxy has exactly one).
+func (p *Proxy) handleSet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var f Faults
+	if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p.tr.SetFaults("", f)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStats dumps the request counters.
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p.tr.Stats())
+}

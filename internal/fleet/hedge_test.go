@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHedgerFixedDelay(t *testing.T) {
+	h := newHedger(HedgeConfig{Delay: 5 * time.Millisecond})
+	h.observe(time.Second) // samples must not override a fixed delay
+	if got := h.delay(); got != 5*time.Millisecond {
+		t.Fatalf("fixed delay = %s, want 5ms", got)
+	}
+}
+
+func TestHedgerAdaptiveDelay(t *testing.T) {
+	h := newHedger(HedgeConfig{})
+	// Before any observation the hedger must be maximally conservative.
+	if got := h.delay(); got != 2*time.Second {
+		t.Fatalf("cold delay = %s, want MaxDelay 2s", got)
+	}
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	// The ring holds 1..100ms; p95 must land near the tail, inside the
+	// clamp window.
+	got := h.delay()
+	if got < 90*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p95 delay = %s, want ~95ms", got)
+	}
+	// Uniformly tiny latencies clamp up to MinDelay.
+	h2 := newHedger(HedgeConfig{})
+	for i := 0; i < hedgeWindow; i++ {
+		h2.observe(time.Microsecond)
+	}
+	if got := h2.delay(); got != 10*time.Millisecond {
+		t.Fatalf("clamped delay = %s, want MinDelay 10ms", got)
+	}
+}
+
+func TestHedgerBudget(t *testing.T) {
+	h := newHedger(HedgeConfig{BudgetRatio: 0.5, BudgetBurst: 2})
+	if !h.take() || !h.take() {
+		t.Fatal("burst tokens missing")
+	}
+	if h.take() {
+		t.Fatal("budget exhausted but take succeeded")
+	}
+	h.earn() // +0.5 — still under one whole token
+	if h.take() {
+		t.Fatal("half a token must not buy a hedge")
+	}
+	h.earn() // +0.5 — one whole token now
+	if !h.take() {
+		t.Fatal("earned token not spendable")
+	}
+	// The bucket caps at BudgetBurst.
+	for i := 0; i < 100; i++ {
+		h.earn()
+	}
+	if !h.take() || !h.take() {
+		t.Fatal("bucket refill missing")
+	}
+	if h.take() {
+		t.Fatal("bucket exceeded BudgetBurst")
+	}
+}

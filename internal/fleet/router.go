@@ -33,6 +33,8 @@ package fleet
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -68,14 +70,29 @@ type Config struct {
 	// Retry is the per-shard client retry policy. Zero means
 	// server.DefaultRetryPolicy.
 	Retry *server.RetryPolicy
+	// HealthProbeTimeout bounds one /healthz poll, so a hung shard
+	// cannot stall the loop past its interval. 0 means 2s.
+	HealthProbeTimeout time.Duration
+	// Hedge tunes hedged failover reads (see hedge.go). The zero value
+	// enables hedging with adaptive delay and a 10% retry budget.
+	Hedge HedgeConfig
+	// Transport, when non-nil, replaces the HTTP transport of every
+	// shard client — the chaos tests inject a faultnet.Transport here.
+	Transport http.RoundTripper
 }
 
 const (
-	defaultHealthInterval = time.Second
-	defaultQueryTimeout   = 10 * time.Second
-	// healthProbeTimeout bounds one /healthz poll, so a hung shard
-	// cannot stall the loop past its interval.
-	healthProbeTimeout = 2 * time.Second
+	defaultHealthInterval     = time.Second
+	defaultQueryTimeout       = 10 * time.Second
+	defaultHealthProbeTimeout = 2 * time.Second
+	// prepareTimeout bounds the prepare round of a cross-shard feedback
+	// batch. It must stay well under the shards' TxnResolveAfter grace
+	// period: a shard resolver reading a peer's "unknown" as
+	// never-prepared is only sound once no prepare is still in flight.
+	prepareTimeout = 5 * time.Second
+	// commitAttempts bounds the async commit worker's retries per owner
+	// before it hands the transaction over to the owners' resolvers.
+	commitAttempts = 5
 )
 
 // shard is the router's view of one fleet member.
@@ -96,27 +113,40 @@ type Router struct {
 	ranges []cluster.HashRange
 	shards []*shard
 	rr     atomic.Uint64 // round-robin cursor for QueryFanout > 0
+	hedge  *hedger
 
 	mux  http.Handler
 	reg  *server.Registry
 	stop chan struct{}
 	done chan struct{}
+	// baseCtx scopes every background request the router issues (health
+	// probes, async commits): Close cancels it, so shutdown never waits
+	// out a probe timeout, and wg tracks the goroutines doing that work.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
 
 	closing sync.Once
 	metrics routerMetrics
 }
 
 type routerMetrics struct {
-	queries        *server.Counter
-	queryErrors    *server.Counter
-	queryFanouts   *server.Histogram
-	fleetDegraded  *server.Counter
-	feedback       *server.Counter
-	feedbackErrors *server.Counter
-	feedbackSplits *server.Histogram
-	healthPolls    *server.Counter
-	healthFailures *server.Counter
-	panics         *server.Counter
+	queries         *server.Counter
+	queryErrors     *server.Counter
+	queryFanouts    *server.Histogram
+	fleetDegraded   *server.Counter
+	feedback        *server.Counter
+	feedbackErrors  *server.Counter
+	feedbackSplits  *server.Histogram
+	feedbackTxns    *server.Counter
+	txnCommitRetry  *server.Counter
+	hedges          *server.Counter
+	hedgeWins       *server.Counter
+	hedgeBudgetDeny *server.Counter
+	healthPolls     *server.Counter
+	healthFailures  *server.Counter
+	healthPushes    *server.Counter
+	panics          *server.Counter
 }
 
 // New builds a router over the shard address list and starts its
@@ -133,20 +163,30 @@ func New(cfg Config) (*Router, error) {
 	if cfg.QueryTimeout <= 0 {
 		cfg.QueryTimeout = defaultQueryTimeout
 	}
+	if cfg.HealthProbeTimeout <= 0 {
+		cfg.HealthProbeTimeout = defaultHealthProbeTimeout
+	}
 	retry := server.DefaultRetryPolicy()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
 	}
+	baseCtx, cancel := context.WithCancel(context.Background())
 	r := &Router{
-		cfg:    cfg,
-		ranges: cluster.FleetRanges(len(cfg.Shards)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
-		reg:    server.NewRegistry(),
+		cfg:     cfg,
+		ranges:  cluster.FleetRanges(len(cfg.Shards)),
+		hedge:   newHedger(cfg.Hedge),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		reg:     server.NewRegistry(),
 	}
 	for id, addr := range cfg.Shards {
 		c := server.NewClient(addr)
 		c.SetRetryPolicy(retry)
+		if cfg.Transport != nil {
+			c.SetTransport(cfg.Transport)
+		}
 		r.shards = append(r.shards, &shard{
 			id:      id,
 			client:  c,
@@ -169,8 +209,14 @@ func (r *Router) registerMetrics() {
 	m.feedback = r.reg.Counter("alexrouter_feedback_total", "Feedback requests routed to owning shards.")
 	m.feedbackErrors = r.reg.Counter("alexrouter_feedback_errors_total", "Feedback requests refused (owner down, backpressure, bad links).")
 	m.feedbackSplits = r.reg.Histogram("alexrouter_feedback_split", "Owner groups per feedback request.", []float64{1, 2, 4, 8})
+	m.feedbackTxns = r.reg.Counter("alexrouter_feedback_txns_total", "Cross-shard feedback batches acked via prepare/commit.")
+	m.txnCommitRetry = r.reg.Counter("alexrouter_txn_commit_retries_total", "Async commit attempts that had to be retried.")
+	m.hedges = r.reg.Counter("alexrouter_hedged_queries_total", "Sub-queries hedged to a peer shard.")
+	m.hedgeWins = r.reg.Counter("alexrouter_hedge_wins_total", "Hedged sub-queries where the peer answered first.")
+	m.hedgeBudgetDeny = r.reg.Counter("alexrouter_hedge_budget_denied_total", "Hedges suppressed by the retry budget.")
 	m.healthPolls = r.reg.Counter("alexrouter_health_polls_total", "Shard health probes issued.")
 	m.healthFailures = r.reg.Counter("alexrouter_health_failures_total", "Shard health probes that failed.")
+	m.healthPushes = r.reg.Counter("alexrouter_health_pushes_total", "Health transitions pushed by shards.")
 	m.panics = r.reg.Counter("alexrouter_http_panics_total", "Handler panics recovered.")
 	r.reg.GaugeFunc("alexrouter_shards", "Fleet size.", func() float64 {
 		return float64(len(r.shards))
@@ -228,18 +274,26 @@ func (r *Router) pollAll() {
 			sh.routable.Store(false)
 			continue
 		}
-		r.metrics.healthPolls.Inc()
-		ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
-		h, err := sh.client.HealthzContext(ctx)
-		cancel()
-		ok := err == nil && h.Status == "ok"
-		sh.breaker.Record(ok)
-		sh.routable.Store(ok)
-		if ok {
-			sh.health.Store(h)
-		} else {
-			r.metrics.healthFailures.Inc()
-		}
+		r.probeShard(sh)
+	}
+}
+
+// probeShard issues one /healthz probe and applies the verdict. It is
+// both the polling loop's body and the verification step for pushed
+// "up" transitions. The probe context derives from baseCtx, so Close
+// aborts in-flight probes instead of waiting out their timeout.
+func (r *Router) probeShard(sh *shard) {
+	r.metrics.healthPolls.Inc()
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.HealthProbeTimeout)
+	h, err := sh.client.HealthzContext(ctx)
+	cancel()
+	ok := err == nil && h.Status == "ok"
+	sh.breaker.Record(ok)
+	sh.routable.Store(ok)
+	if ok {
+		sh.health.Store(h)
+	} else {
+		r.metrics.healthFailures.Inc()
 	}
 }
 
@@ -249,6 +303,47 @@ func (r *Router) pollAll() {
 func (r *Router) markDown(sh *shard) {
 	sh.breaker.Record(false)
 	sh.routable.Store(false)
+}
+
+// handleHealthPush is the shard-initiated health transition endpoint:
+// a draining shard announces "down" before it stops serving, and a
+// freshly started one announces "up", so failover reacts in
+// milliseconds instead of a polling interval. "down" is trusted — a
+// push can only make the router stop using a shard. "up" is merely a
+// hint to probe now: the routable verdict still comes from a verified
+// /healthz answer, so a spoofed push cannot resurrect a dead shard.
+func (r *Router) handleHealthPush(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var hp cluster.HealthPush
+	if err := json.NewDecoder(req.Body).Decode(&hp); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if hp.ShardID < 0 || hp.ShardID >= len(r.shards) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown shard %d", hp.ShardID)})
+		return
+	}
+	sh := r.shards[hp.ShardID]
+	switch hp.Status {
+	case "down":
+		r.markDown(sh)
+	case "up":
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			if sh.breaker.Allow() {
+				r.probeShard(sh)
+			}
+		}()
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown status %q", hp.Status)})
+		return
+	}
+	r.metrics.healthPushes.Inc()
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // routableShards returns the currently routable shards in ID order.
@@ -285,11 +380,17 @@ func (r *Router) Handler() http.Handler { return r.mux }
 // Registry exposes the router's metrics registry.
 func (r *Router) Registry() *server.Registry { return r.reg }
 
-// Close stops the health loop. In-flight requests finish; the router
-// holds no state to drain.
+// Close stops the health loop, aborts in-flight background probes and
+// waits for async commit workers. In-flight client requests finish;
+// the router holds no state to drain. Pending commits it abandons are
+// settled by the owners' resolvers (the prepares are durable).
 func (r *Router) Close() error {
-	r.closing.Do(func() { close(r.stop) })
+	r.closing.Do(func() {
+		close(r.stop)
+		r.cancel()
+	})
 	<-r.done
+	r.wg.Wait()
 	for _, sh := range r.shards {
 		sh.client.CloseIdleConnections()
 	}
@@ -301,6 +402,7 @@ func (r *Router) routes() http.Handler {
 	mux.HandleFunc("/query", r.handleQuery)
 	mux.HandleFunc("/feedback", r.handleFeedback)
 	mux.HandleFunc("/links", r.handleLinks)
+	mux.HandleFunc("/router/health", r.handleHealthPush)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.HandleFunc("/metrics", r.handleMetrics)
 	return r.recoverMiddleware(mux)
@@ -355,7 +457,15 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 
 	targets := r.queryTargets()
 	if len(targets) == 0 {
+		// All shards down: fail fast with the full degraded set rather
+		// than burn the query timeout — the client can tell "fleet is
+		// down, retry later" from "query is slow".
 		r.metrics.queryErrors.Inc()
+		all := make([]string, 0, len(r.shards))
+		for _, sh := range r.shards {
+			all = append(all, fmt.Sprintf("shard-%d", sh.id))
+		}
+		w.Header().Set("X-Alex-Fleet-Degraded", strings.Join(all, ","))
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no routable shard"})
 		return
@@ -364,20 +474,18 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 
 	// Scatter: one goroutine per target, results slotted by position so
 	// the gather keeps shard-ID order (the merge's first-seen order and
-	// therefore the answer's row order is deterministic).
+	// therefore the answer's row order is deterministic). Each slot is a
+	// hedged sub-query: a slow or failing primary is raced against a
+	// healthy peer, and either answer fills the slot.
 	resps := make([]*server.QueryResponse, len(targets))
 	errs := make([]error, len(targets))
+	answeredBy := make([]*shard, len(targets))
 	var wg sync.WaitGroup
 	for i, sh := range targets {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			res, err := sh.client.QueryContext(ctx, qr.Query)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			resps[i] = res
+			resps[i], answeredBy[i], errs[i] = r.subQuery(ctx, sh, targets, qr.Query)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -390,11 +498,13 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 			if firstErr == nil {
 				firstErr = errs[i]
 			}
-			if ctx.Err() == nil {
-				r.markDown(sh)
-			}
 			missed = append(missed, fmt.Sprintf("shard-%d", sh.id))
 			continue
+		}
+		if answeredBy[i] != sh {
+			// A peer answered for this slot: the answer is full, but the
+			// primary's replica went uncross-checked.
+			missed = append(missed, fmt.Sprintf("shard-%d", sh.id))
 		}
 		answered++
 	}
@@ -448,6 +558,128 @@ func inTargets(targets []*shard, sh *shard) bool {
 	return false
 }
 
+// subQuery runs one scatter slot: the primary's query, raced against a
+// hedge to a healthy peer when the primary is slow (after the hedger's
+// adaptive delay) or fails fast — replicas are full, so any peer's
+// answer is the full answer. It returns the winning response and the
+// shard that produced it. At most one hedge per slot, and only if the
+// retry budget allows it, so hedging cannot amplify a brownout.
+func (r *Router) subQuery(ctx context.Context, primary *shard, targets []*shard, query string) (*server.QueryResponse, *shard, error) {
+	type subResult struct {
+		resp *server.QueryResponse
+		sh   *shard
+		err  error
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser; its send fits the buffer
+	results := make(chan subResult, 2)
+	launch := func(sh *shard) {
+		go func() {
+			start := time.Now()
+			res, err := sh.client.QueryContext(cctx, query)
+			if err == nil && sh == primary {
+				r.hedge.observe(time.Since(start))
+			}
+			results <- subResult{res, sh, err}
+		}()
+	}
+	r.hedge.earn()
+	launch(primary)
+
+	var hedgeC <-chan time.Time
+	if !r.cfg.Hedge.Disabled {
+		t := time.NewTimer(r.hedge.delay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedged := false
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if sh := r.tryHedge(primary, targets); sh != nil {
+				hedged = true
+				outstanding++
+				launch(sh)
+			}
+		case res := <-results:
+			if res.err == nil {
+				if res.sh != primary {
+					r.metrics.hedgeWins.Inc()
+				}
+				return res.resp, res.sh, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if ctx.Err() == nil {
+				r.markDown(res.sh)
+			}
+			outstanding--
+			if !hedged && ctx.Err() == nil {
+				// The primary failed outright before the hedge delay: hedge
+				// immediately, the delay has nothing left to protect.
+				hedgeC = nil
+				if sh := r.tryHedge(primary, targets); sh != nil {
+					hedged = true
+					outstanding++
+					launch(sh)
+				}
+			}
+			if outstanding == 0 {
+				return nil, nil, firstErr
+			}
+		}
+	}
+}
+
+// tryHedge picks a hedge destination and spends a budget token;
+// nil means no peer is available or the budget is exhausted.
+func (r *Router) tryHedge(primary *shard, targets []*shard) *shard {
+	if r.cfg.Hedge.Disabled {
+		return nil
+	}
+	sh := r.hedgePeer(primary, targets)
+	if sh == nil {
+		return nil
+	}
+	if !r.hedge.take() {
+		r.metrics.hedgeBudgetDeny.Inc()
+		return nil
+	}
+	r.metrics.hedges.Inc()
+	return sh
+}
+
+// hedgePeer picks the hedge destination: a routable shard other than
+// the primary, preferring one outside the scatter set (it duplicates
+// no in-flight work).
+func (r *Router) hedgePeer(primary *shard, targets []*shard) *shard {
+	avail := r.routableShards()
+	if len(avail) == 0 {
+		return nil
+	}
+	var fallback *shard
+	start := int(r.rr.Add(1)-1) % len(avail)
+	for i := 0; i < len(avail); i++ {
+		sh := avail[(start+i)%len(avail)]
+		if sh == primary {
+			continue
+		}
+		if !inTargets(targets, sh) {
+			return sh
+		}
+		if fallback == nil {
+			fallback = sh
+		}
+	}
+	return fallback
+}
+
 func (r *Router) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
@@ -491,6 +723,12 @@ func (r *Router) handleFeedback(w http.ResponseWriter, req *http.Request) {
 		owners = append(owners, owner)
 	}
 	sort.Ints(owners)
+	if len(owners) > 1 {
+		// A batch spanning owners cannot be acked group by group: a crash
+		// between two acks would half-apply it. Run prepare/commit instead.
+		r.feedbackTxn(w, req, owners, groups, fr.Approve, len(fr.Links))
+		return
+	}
 	statuses := make([]int, len(owners))
 	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
@@ -532,6 +770,116 @@ func (r *Router) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	}
 	r.metrics.feedback.Inc()
 	writeJSON(w, http.StatusAccepted, server.FeedbackResponse{Queued: true, Links: len(fr.Links)})
+}
+
+// newTxnID draws a random 128-bit batch ID. Randomness (not a counter)
+// keeps the router stateless: a restarted router can never reuse an ID
+// whose outcome the owners still remember.
+func newTxnID() (string, error) {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// feedbackTxn acks a multi-owner feedback batch via prepare/commit:
+// every owner journals an fsynced prepare before the client sees the
+// 202, then the commit marks flow asynchronously. The router never
+// sends aborts — when a prepare fails, the client gets a retryable
+// error and the owners that DID prepare settle the outcome among
+// themselves after the grace period (cluster.DecideTxn): an owner that
+// never prepared answers "unknown" to their probes, which decides
+// abort. A crash on either side between prepare and commit therefore
+// never half-applies the batch.
+func (r *Router) feedbackTxn(w http.ResponseWriter, req *http.Request, owners []int, groups map[int][]server.LinkJSON, approve bool, total int) {
+	id, err := newTxnID()
+	if err != nil {
+		r.metrics.feedbackErrors.Inc()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "txn id: " + err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), prepareTimeout)
+	defer cancel()
+	statuses := make([]int, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, owner := range owners {
+		wg.Add(1)
+		go func(i, owner int) {
+			defer wg.Done()
+			links := make([]cluster.LinkWire, 0, len(groups[owner]))
+			for _, lj := range groups[owner] {
+				links = append(links, cluster.LinkWire{E1: lj.E1, E2: lj.E2})
+			}
+			statuses[i], errs[i] = r.shards[owner].client.TxnPrepare(ctx, cluster.TxnPrepare{
+				ID:      id,
+				Owners:  owners,
+				Approve: approve,
+				Links:   links,
+			})
+		}(i, owner)
+	}
+	wg.Wait()
+
+	for i, owner := range owners {
+		status, err := statuses[i], errs[i]
+		if err != nil && status == 0 {
+			// Transport failure: this owner may or may not hold the
+			// prepare. Surface a retryable error; the resolvers decide.
+			r.markDown(r.shards[owner])
+			r.metrics.feedbackErrors.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: fmt.Sprintf("shard %d: prepare failed: %v", owner, err)})
+			return
+		}
+		if status != http.StatusAccepted && status != http.StatusOK {
+			r.metrics.feedbackErrors.Inc()
+			if status == http.StatusTooManyRequests || status >= 500 {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, errorResponse{Error: fmt.Sprintf("shard %d: prepare refused: %v", owner, err)})
+			return
+		}
+	}
+
+	// Every owner's prepare is on stable storage: the outcome is decided
+	// and the ack is as durable as a single-node one. Commits flow in the
+	// background; an owner that misses its mark resolves via peers.
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.commitAll(id, owners)
+	}()
+	r.metrics.feedbackTxns.Inc()
+	r.metrics.feedback.Inc()
+	writeJSON(w, http.StatusAccepted, server.FeedbackResponse{Queued: true, Links: total})
+}
+
+// commitAll delivers the commit mark to every owner, retrying briefly
+// on retryable failures. Giving up is safe: the prepares are durable
+// everywhere, so an owner that never hears its commit learns the
+// outcome from its peers after the grace period.
+func (r *Router) commitAll(id string, owners []int) {
+	for _, owner := range owners {
+		for attempt := 0; ; attempt++ {
+			ctx, cancel := context.WithTimeout(r.baseCtx, prepareTimeout)
+			status, err := r.shards[owner].client.TxnCommit(ctx, id)
+			cancel()
+			if err == nil || (status != 0 && status != http.StatusTooManyRequests && status < 500) {
+				break
+			}
+			if attempt+1 >= commitAttempts {
+				break
+			}
+			r.metrics.txnCommitRetry.Inc()
+			select {
+			case <-r.baseCtx.Done():
+				return
+			case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+			}
+		}
+	}
 }
 
 // handleLinks proxies the full link set from the freshest routable

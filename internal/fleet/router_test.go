@@ -151,11 +151,21 @@ func fastBreaker() federation.BreakerConfig {
 }
 
 func startFleet(t testing.TB, w *world, n int, scfg server.Config) *testFleet {
+	return startFleetWith(t, w, n, scfg, nil)
+}
+
+// startFleetWith is startFleet with a router-config hook: the hardening
+// tests use it to inject a faultnet transport, tune hedging or shrink
+// probe timeouts without duplicating the harness.
+func startFleetWith(t testing.TB, w *world, n int, scfg server.Config, mut func(*Config)) *testFleet {
 	t.Helper()
 	f := &testFleet{n: n}
 	for id := 0; id < n; id++ {
 		cfg := scfg
 		cfg.Fleet = &server.FleetConfig{ShardID: id, Shards: n, ReplicateEvery: 25 * time.Millisecond}
+		if scfg.Fleet != nil {
+			cfg.Fleet.TxnResolveAfter = scfg.Fleet.TxnResolveAfter
+		}
 		if cfg.FlushInterval == 0 {
 			cfg.FlushInterval = 20 * time.Millisecond
 		}
@@ -179,12 +189,16 @@ func startFleet(t testing.TB, w *world, n int, scfg server.Config) *testFleet {
 			t.Fatal(err)
 		}
 	}
-	r, err := New(Config{
+	rcfg := Config{
 		Shards:         f.addrs,
 		HealthInterval: 50 * time.Millisecond,
 		Breaker:        fastBreaker(),
 		Retry:          &server.RetryPolicy{MaxAttempts: 1},
-	})
+	}
+	if mut != nil {
+		mut(&rcfg)
+	}
+	r, err := New(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,6 +362,9 @@ func (f *testFleet) restartShard(t *testing.T, w *world, id int, scfg server.Con
 	t.Helper()
 	cfg := scfg
 	cfg.Fleet = &server.FleetConfig{ShardID: id, Shards: f.n, ReplicateEvery: 25 * time.Millisecond}
+	if scfg.Fleet != nil {
+		cfg.Fleet.TxnResolveAfter = scfg.Fleet.TxnResolveAfter
+	}
 	if cfg.FlushInterval == 0 {
 		cfg.FlushInterval = 20 * time.Millisecond
 	}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,6 +86,11 @@ func NewClient(addr string) *Client {
 // SetRetryPolicy replaces the retry policy (e.g. MaxAttempts: 1 to
 // disable retries). Not safe concurrently with in-flight requests.
 func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// SetTransport replaces the underlying HTTP transport. Chaos tests
+// route requests through a faultnet.Transport with it. Not safe
+// concurrently with in-flight requests.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
 
 // CloseIdleConnections releases the client's pooled connections.
 func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }
@@ -311,6 +317,36 @@ func (c *Client) ReplicaPush(ctx context.Context, m cluster.SnapshotManifest) (a
 		return false, err
 	}
 	return out.Applied, nil
+}
+
+// TxnPrepare offers one owner its slice of a cross-shard feedback
+// batch. The returned status is the final HTTP status: 202 means the
+// prepare is journaled and fsynced, 200 means the transaction already
+// committed, 409 means it already aborted.
+func (c *Client) TxnPrepare(ctx context.Context, p cluster.TxnPrepare) (int, error) {
+	return c.postJSON(ctx, "/txn/prepare", p, nil)
+}
+
+// TxnCommit marks a prepared transaction committed on one owner.
+// 404 means the owner has no record of it.
+func (c *Client) TxnCommit(ctx context.Context, id string) (int, error) {
+	return c.postJSON(ctx, "/txn/commit", cluster.TxnMark{ID: id}, nil)
+}
+
+// TxnAbort marks a prepared transaction aborted on one owner.
+func (c *Client) TxnAbort(ctx context.Context, id string) (int, error) {
+	return c.postJSON(ctx, "/txn/abort", cluster.TxnMark{ID: id}, nil)
+}
+
+// TxnStatus asks one owner for a transaction's status as it knows it
+// (prepared, committed, aborted or unknown). Shard resolvers use it to
+// settle prepares whose router died between prepare and commit.
+func (c *Client) TxnStatus(ctx context.Context, id string) (*cluster.TxnStatusReply, error) {
+	var out cluster.TxnStatusReply
+	if err := c.getJSON(ctx, "/txn/status?id="+url.QueryEscape(id), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Addr returns the client's normalized base URL.

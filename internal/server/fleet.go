@@ -32,10 +32,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"alex/internal/cluster"
@@ -53,6 +56,15 @@ type FleetConfig struct {
 	// replicator pushes/pulls snapshots absent episode activity.
 	// 0 means 2s.
 	ReplicateEvery time.Duration
+	// Routers lists router addresses to push health transitions to
+	// (POST /router/health on startup and graceful shutdown), so
+	// failover reacts in milliseconds instead of a poll interval.
+	// Best-effort: an unreachable router just waits for its next poll.
+	Routers []string
+	// TxnResolveAfter is the grace period before an unresolved prepared
+	// transaction is settled by consulting its peer owners. It must
+	// exceed the router's prepare deadline (see txn.go); 0 means 10s.
+	TxnResolveAfter time.Duration
 }
 
 const defaultReplicateEvery = 2 * time.Second
@@ -164,6 +176,44 @@ func (s *Server) SetPeers(addrs []string) error {
 	s.peerMu.Unlock()
 	s.kickReplicator()
 	return nil
+}
+
+// healthPushTimeout bounds one router health notification; the push is
+// an optimization over polling, never worth stalling startup/shutdown.
+const healthPushTimeout = 500 * time.Millisecond
+
+// notifyRouters pushes a health transition ("up" or "down") to every
+// configured router. Best-effort and synchronous: failures are dropped
+// (the router's poll loop remains the source of truth) and the short
+// per-router timeout bounds the total cost.
+func (s *Server) notifyRouters(status string) {
+	if s.fleet == nil || len(s.fleet.Routers) == 0 {
+		return
+	}
+	body, err := json.Marshal(cluster.HealthPush{ShardID: s.fleet.ShardID, Status: status})
+	if err != nil {
+		return
+	}
+	for _, addr := range s.fleet.Routers {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), healthPushTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimRight(base, "/")+"/router/health", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close() // response body fully drained; nothing useful in the error
+		}
+		cancel()
+	}
 }
 
 // kickReplicator asks the replicator for an immediate round; a pending

@@ -170,6 +170,10 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/replica/snapshot", s.handleReplicaSnapshot)
 	mux.HandleFunc("/replica/push", s.handleReplicaPush)
+	mux.HandleFunc("/txn/prepare", s.handleTxnPrepare)
+	mux.HandleFunc("/txn/commit", s.handleTxnCommit)
+	mux.HandleFunc("/txn/abort", s.handleTxnAbort)
+	mux.HandleFunc("/txn/status", s.handleTxnStatus)
 	return s.recoverMiddleware(mux)
 }
 
@@ -416,8 +420,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for i, st := range statuses {
 		srcs[i] = SourceHealth{Name: st.Name, Guarded: st.Guarded, Breaker: st.Breaker.String()}
 	}
+	// A draining server still answers reads but must not be offered new
+	// writes; "closing" tells a router's poll the same thing the push
+	// notification said, so the two signals cannot disagree.
+	status := "ok"
+	select {
+	case <-s.stop:
+		status = "closing"
+	default:
+	}
 	out := HealthResponse{
-		Status:          "ok",
+		Status:          status,
 		Role:            "standalone",
 		SnapshotVersion: snap.Version,
 		SnapshotAgeSecs: time.Since(snap.Published).Seconds(),

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"alex/internal/cluster"
+)
+
+// A fleet shard must announce its own health transitions to every
+// configured router: "up" when New finishes (so a restarted shard is
+// probed immediately instead of waiting out a poll interval) and
+// "down" when Close begins (so routers fail over before the socket
+// disappears). An unreachable router in the list must not block the
+// push to the reachable ones — the notification is best-effort.
+func TestShardPushesHealthTransitions(t *testing.T) {
+	pushes := make(chan cluster.HealthPush, 8)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/router/health" {
+			t.Errorf("unexpected push request: %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		var hp cluster.HealthPush
+		if err := json.NewDecoder(r.Body).Decode(&hp); err != nil {
+			t.Errorf("bad push body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		pushes <- hp
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer stub.Close()
+
+	dict, sources, sys, _ := tinyWorld(t)
+	s, err := New(sys, dict, sources, Config{
+		FlushInterval: 20 * time.Millisecond,
+		Fleet: &FleetConfig{
+			ShardID: 3,
+			Shards:  4,
+			// A dead router first: the live stub must still be notified.
+			Routers: []string{"127.0.0.1:1", stub.URL},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(status string) {
+		t.Helper()
+		select {
+		case hp := <-pushes:
+			if hp.ShardID != 3 || hp.Status != status {
+				t.Fatalf("push = %+v, want shard 3 %q", hp, status)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("no %q push arrived", status)
+		}
+	}
+	expect("up")
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	expect("down")
+}

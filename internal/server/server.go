@@ -224,6 +224,16 @@ type Server struct {
 	logMu    sync.Mutex
 	recovery RecoveryStats
 
+	// Cross-shard transaction state (txn.go), guarded by logMu: the
+	// prepared-but-unresolved table, the bounded resolved-outcome table
+	// with its FIFO pruning order, and the resolver goroutine's done
+	// channel (nil when standalone).
+	txnPending     map[string]*txnEntry
+	txnDone        map[string]string
+	txnOrder       []string
+	txnResolveDone chan struct{}
+	txnMetrics     txnMetrics
+
 	snap     atomic.Pointer[Snapshot]
 	queue    chan feedbackItem
 	stop     chan struct{}
@@ -312,16 +322,18 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 		}
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		dict:  dict,
-		base:  base,
-		plans: plans,
-		queue: make(chan feedbackItem, cfg.QueueSize),
-		stop:  make(chan struct{}),
-		die:   make(chan struct{}),
-		done:  make(chan struct{}),
-		reg:   NewRegistry(),
+		cfg:        cfg,
+		eng:        eng,
+		dict:       dict,
+		base:       base,
+		plans:      plans,
+		queue:      make(chan feedbackItem, cfg.QueueSize),
+		stop:       make(chan struct{}),
+		die:        make(chan struct{}),
+		done:       make(chan struct{}),
+		reg:        NewRegistry(),
+		txnPending: make(map[string]*txnEntry),
+		txnDone:    make(map[string]string),
 	}
 	if cfg.MaxConcurrentQueries > 0 {
 		s.querySem = make(chan struct{}, cfg.MaxConcurrentQueries)
@@ -343,6 +355,9 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 	go s.writer()
 	if s.fleet != nil {
 		go s.replicator()
+		s.txnResolveDone = make(chan struct{})
+		go s.txnResolver()
+		s.notifyRouters("up")
 	}
 	return s, nil
 }
@@ -364,7 +379,14 @@ func (s *Server) recover() error {
 			return err
 		}
 		if found {
-			if err := ck.Restore(bytes.NewReader(state)); err != nil {
+			engineState, hdr, err := unwrapCheckpoint(state)
+			if err != nil {
+				return fmt.Errorf("server: checkpoint (seq %d): %w", seq, err)
+			}
+			for _, r := range hdr.Resolved {
+				s.markResolved(r.ID, r.Status)
+			}
+			if err := ck.Restore(bytes.NewReader(engineState)); err != nil {
 				return fmt.Errorf("server: restore checkpoint (seq %d): %w", seq, err)
 			}
 			s.w.ckptSeq = seq
@@ -374,8 +396,12 @@ func (s *Server) recover() error {
 	}
 	s.w.replaying = true
 	n, err := log.Replay(s.w.ckptSeq, func(rec wal.Record) error {
+		kind, body := wal.DecodeTyped(rec.Data)
+		if kind != wal.KindFeedback {
+			return s.replayTxnRecord(kind, rec, body)
+		}
 		var req FeedbackRequest
-		if err := json.Unmarshal(rec.Data, &req); err != nil {
+		if err := json.Unmarshal(body, &req); err != nil {
 			return fmt.Errorf("server: journal record %d: %w", rec.Seq, err)
 		}
 		it := feedbackItem{seq: rec.Seq, positive: req.Approve}
@@ -451,6 +477,7 @@ func (s *Server) registerMetrics() {
 	s.reg.GaugeFunc("alexd_replayed_records", "Journal records replayed by the last startup recovery.", func() float64 {
 		return float64(s.Recovery().Replayed)
 	})
+	s.registerTxnMetrics()
 	for i, st := range s.base.SourceStatuses() {
 		i := i
 		s.reg.LabeledGaugeFunc("alexd_source_breaker_state",
@@ -571,7 +598,15 @@ func (s *Server) checkpoint() {
 		s.logMu.Unlock()
 		return
 	}
-	err := s.log.Checkpoint(s.w.applied, buf.Bytes())
+	if len(s.txnPending) > 0 {
+		// An unresolved prepare lives only in the journal; the reset
+		// below would silently discard a 202-acked batch. Keep the
+		// journal; the resolver settles the prepare within its grace
+		// period and the checkpoint retries next episode.
+		s.logMu.Unlock()
+		return
+	}
+	err := s.log.Checkpoint(s.w.applied, s.wrapCheckpoint(buf.Bytes()))
 	s.logMu.Unlock()
 	if err != nil {
 		s.metrics.checkpointErrors.Inc()
@@ -678,7 +713,13 @@ func (s *Server) enqueue(it feedbackItem) bool {
 // is no longer processed (the HTTP handlers keep serving reads from the
 // last snapshot).
 func (s *Server) Close() error {
-	s.closing.Do(func() { close(s.stop) })
+	s.closing.Do(func() {
+		// Close stop first — /healthz reports "closing" from that moment,
+		// so a poll racing the push cannot flip the shard back up — then
+		// push "down" so router failover reacts before the next poll.
+		close(s.stop)
+		s.notifyRouters("down")
+	})
 	select {
 	case <-s.done:
 	case <-time.After(s.cfg.DrainTimeout):
@@ -686,6 +727,9 @@ func (s *Server) Close() error {
 	}
 	if s.repDone != nil {
 		<-s.repDone
+	}
+	if s.txnResolveDone != nil {
+		<-s.txnResolveDone
 	}
 	if s.log != nil {
 		s.logMu.Lock()
@@ -704,6 +748,9 @@ func (s *Server) abort() {
 	<-s.done
 	if s.repDone != nil {
 		<-s.repDone
+	}
+	if s.txnResolveDone != nil {
+		<-s.txnResolveDone
 	}
 }
 

@@ -1,0 +1,538 @@
+// Cross-shard transaction manager: the owner side of the fleet's
+// prepare/commit feedback protocol (see internal/cluster/txn.go for
+// the protocol and DESIGN.md for the decision record).
+//
+// A prepare journals the owner's slice of a cross-shard batch — typed
+// wal record, fsynced before the 202 leaves, exactly the contract of a
+// plain /feedback ack — but does NOT apply it. The links enter the
+// engine only when the commit mark arrives (from the router, or from
+// this shard's own resolver after consulting its peers). Both the
+// pending table and the resolved-outcome table are guarded by logMu:
+// every transition journals, so the journal lock is the natural owner,
+// and it keeps the queue-capacity reservation of Server.accept intact
+// on the commit path.
+//
+// Crash safety: prepares and marks are journal records, so restart
+// replays them back into the same tables. Checkpoints are suppressed
+// while any prepare is unresolved (a checkpoint resets the journal,
+// which would silently discard the prepared batch), and resolved
+// outcomes ride inside the checkpoint blob (wrapCheckpoint) so a
+// resend of an already-resolved transaction stays idempotent across
+// restarts.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"alex/internal/cluster"
+	"alex/internal/wal"
+)
+
+// txnEntry is one prepared-but-unresolved transaction: the wire form
+// (for peers asking /txn/status and for the resolver's owner list) plus
+// the resolved feedback item, ready to enqueue the moment the commit
+// mark lands.
+type txnEntry struct {
+	prepare    cluster.TxnPrepare
+	item       feedbackItem
+	preparedAt time.Time
+}
+
+// txnKeepResolved bounds the resolved-outcome table. Outcomes are kept
+// so prepare/commit resends stay idempotent and so peers recovering a
+// long time later can still learn the verdict; the bound only matters
+// for a shard that lived through that many cross-shard batches, by
+// which point any peer still pending on the oldest one has been dead
+// for far longer than the resolution grace period.
+const txnKeepResolved = 4096
+
+// defaultTxnResolveAfter is the grace period before a shard consults
+// its peers about an unresolved prepare. It must exceed the router's
+// prepare deadline: the decision rule reads a peer's "unknown" as
+// "never prepared", which is only sound once no prepare can still be
+// in flight.
+const defaultTxnResolveAfter = 10 * time.Second
+
+// txnStatusTimeout bounds one /txn/status probe to a peer.
+const txnStatusTimeout = 2 * time.Second
+
+type txnMetrics struct {
+	prepares *Counter
+	commits  *Counter
+	aborts   *Counter
+	resolved *Counter
+	dedups   *Counter
+	errors   *Counter
+	stalls   *Counter
+}
+
+func (s *Server) registerTxnMetrics() {
+	m := &s.txnMetrics
+	m.prepares = s.reg.Counter("alexd_txn_prepares_total", "Cross-shard transaction prepares journaled.")
+	m.commits = s.reg.Counter("alexd_txn_commits_total", "Cross-shard transactions committed (links applied).")
+	m.aborts = s.reg.Counter("alexd_txn_aborts_total", "Cross-shard transactions aborted (links dropped).")
+	m.resolved = s.reg.Counter("alexd_txn_resolved_total", "Unresolved prepares decided by peer consultation.")
+	m.dedups = s.reg.Counter("alexd_txn_dedups_total", "Duplicate prepare/commit requests answered from the tables.")
+	m.errors = s.reg.Counter("alexd_txn_errors_total", "Transaction journal appends that failed.")
+	m.stalls = s.reg.Counter("alexd_txn_resolve_stalls_total", "Resolution rounds postponed because a peer was unreachable.")
+	s.reg.GaugeFunc("alexd_txn_pending", "Prepared transactions awaiting an outcome.", func() float64 {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+		return float64(len(s.txnPending))
+	})
+}
+
+// txnResolveAfter returns the configured grace period (fleet shards
+// only; callers check s.fleet first).
+func (s *Server) txnResolveAfter() time.Duration {
+	if s.fleet != nil && s.fleet.TxnResolveAfter > 0 {
+		return s.fleet.TxnResolveAfter
+	}
+	return defaultTxnResolveAfter
+}
+
+// prepareTxn journals req as a prepared transaction. It returns the
+// transaction's status after the call: TxnPrepared (freshly journaled
+// or an idempotent resend), TxnCommitted (already resolved; the resend
+// arrived late) or TxnAborted. A non-nil error carries the HTTP status
+// to relay (503 journal failure, 429 queue full on the in-memory
+// path).
+func (s *Server) prepareTxn(req cluster.TxnPrepare, item feedbackItem) (string, int, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return "", http.StatusBadRequest, err
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if st, ok := s.txnDone[req.ID]; ok {
+		s.txnMetrics.dedups.Inc()
+		return st, 0, nil
+	}
+	if _, ok := s.txnPending[req.ID]; ok {
+		s.txnMetrics.dedups.Inc()
+		return cluster.TxnPrepared, 0, nil
+	}
+	if s.log != nil {
+		start := time.Now()
+		_, err := s.log.Append(wal.EncodeTyped(wal.KindPrepare, payload))
+		s.metrics.journalFsync.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.metrics.journalErrors.Inc()
+			s.txnMetrics.errors.Inc()
+			return "", http.StatusServiceUnavailable, fmt.Errorf("prepare not durable: %v", err)
+		}
+	}
+	s.txnPending[req.ID] = &txnEntry{prepare: req, item: item, preparedAt: time.Now()}
+	s.txnMetrics.prepares.Inc()
+	return cluster.TxnPrepared, 0, nil
+}
+
+// commitTxn resolves a prepared transaction to committed: journal the
+// mark, move the entry to the resolved table and enqueue its feedback
+// item for the writer. Idempotent; the returned status is
+// TxnCommitted on success (including resends), TxnAborted when the
+// transaction already resolved the other way, TxnUnknown when it was
+// never prepared here. A non-nil error carries the HTTP status to
+// relay and leaves the transaction pending (the caller retries).
+func (s *Server) commitTxn(id string) (string, int, error) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if st, ok := s.txnDone[id]; ok {
+		s.txnMetrics.dedups.Inc()
+		return st, 0, nil
+	}
+	e, ok := s.txnPending[id]
+	if !ok {
+		return cluster.TxnUnknown, 0, nil
+	}
+	// The commit enqueues: reserve the queue slot under logMu exactly as
+	// Server.accept does, so the mark is never journaled for an item
+	// that then has nowhere to go.
+	if len(s.queue) == cap(s.queue) {
+		s.metrics.feedbackThrottled.Inc()
+		return "", http.StatusTooManyRequests, fmt.Errorf("feedback queue full, retry later")
+	}
+	it := e.item
+	if s.log != nil {
+		payload, err := json.Marshal(cluster.TxnMark{ID: id})
+		if err != nil {
+			return "", http.StatusInternalServerError, err
+		}
+		start := time.Now()
+		seq, err := s.log.Append(wal.EncodeTyped(wal.KindCommit, payload))
+		s.metrics.journalFsync.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.metrics.journalErrors.Inc()
+			s.txnMetrics.errors.Inc()
+			return "", http.StatusServiceUnavailable, fmt.Errorf("commit not durable: %v", err)
+		}
+		it.seq = seq
+	}
+	delete(s.txnPending, id)
+	s.markResolved(id, cluster.TxnCommitted)
+	s.queue <- it // fits: capacity checked above, under logMu
+	s.metrics.feedbackQueued.Inc()
+	s.txnMetrics.commits.Inc()
+	return cluster.TxnCommitted, 0, nil
+}
+
+// abortTxn resolves a prepared transaction to aborted: journal the
+// mark and drop the entry. Unknown transactions answer aborted without
+// journaling (presumed abort — there is nothing to undo). A non-nil
+// error leaves the transaction pending.
+func (s *Server) abortTxn(id string) (string, int, error) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if st, ok := s.txnDone[id]; ok {
+		s.txnMetrics.dedups.Inc()
+		return st, 0, nil
+	}
+	if _, ok := s.txnPending[id]; !ok {
+		return cluster.TxnAborted, 0, nil
+	}
+	if s.log != nil {
+		payload, err := json.Marshal(cluster.TxnMark{ID: id})
+		if err != nil {
+			return "", http.StatusInternalServerError, err
+		}
+		start := time.Now()
+		_, err = s.log.Append(wal.EncodeTyped(wal.KindAbort, payload))
+		s.metrics.journalFsync.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.metrics.journalErrors.Inc()
+			s.txnMetrics.errors.Inc()
+			return "", http.StatusServiceUnavailable, fmt.Errorf("abort not durable: %v", err)
+		}
+	}
+	delete(s.txnPending, id)
+	s.markResolved(id, cluster.TxnAborted)
+	s.txnMetrics.aborts.Inc()
+	return cluster.TxnAborted, 0, nil
+}
+
+// markResolved records an outcome in the bounded resolved table.
+// Callers hold logMu.
+func (s *Server) markResolved(id, status string) {
+	if _, ok := s.txnDone[id]; ok {
+		return
+	}
+	s.txnDone[id] = status
+	s.txnOrder = append(s.txnOrder, id)
+	for len(s.txnOrder) > txnKeepResolved {
+		delete(s.txnDone, s.txnOrder[0])
+		s.txnOrder = s.txnOrder[1:]
+	}
+}
+
+// txnStatus reports a transaction's status as this shard knows it.
+func (s *Server) txnStatus(id string) string {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if st, ok := s.txnDone[id]; ok {
+		return st
+	}
+	if _, ok := s.txnPending[id]; ok {
+		return cluster.TxnPrepared
+	}
+	return cluster.TxnUnknown
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleTxnPrepare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req cluster.TxnPrepare
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.ID == "" || len(req.Links) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "transaction needs an id and links"})
+		return
+	}
+	item := feedbackItem{positive: req.Approve}
+	for _, lw := range req.Links {
+		// Same ownership gate as /feedback: preparing a foreign link
+		// would fork ownership (see handleFeedback).
+		if s.fleet != nil {
+			if owner := cluster.OwnerOf(s.ranges, lw.E1); owner != s.fleet.ShardID {
+				writeJSON(w, http.StatusBadRequest, errorResponse{
+					Error: fmt.Sprintf("link %q belongs to shard %d, this is shard %d", lw.E1, owner, s.fleet.ShardID),
+				})
+				return
+			}
+		}
+		l, err := s.resolveLink(LinkJSON{E1: lw.E1, E2: lw.E2})
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		item.links = append(item.links, l)
+	}
+	st, code, err := s.prepareTxn(req, item)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	if st == cluster.TxnCommitted {
+		writeJSON(w, http.StatusOK, cluster.TxnStatusReply{ID: req.ID, Status: st})
+		return
+	}
+	if st == cluster.TxnAborted {
+		writeJSON(w, http.StatusConflict, cluster.TxnStatusReply{ID: req.ID, Status: st})
+		return
+	}
+	// The 202 is the durability ack: prepareTxn appended and fsynced the
+	// prepare record before returning (ackorder's contract).
+	writeJSON(w, http.StatusAccepted, cluster.TxnStatusReply{ID: req.ID, Status: st})
+}
+
+func (s *Server) handleTxnCommit(w http.ResponseWriter, r *http.Request) {
+	s.handleTxnMark(w, r, s.commitTxn)
+}
+
+func (s *Server) handleTxnAbort(w http.ResponseWriter, r *http.Request) {
+	s.handleTxnMark(w, r, s.abortTxn)
+}
+
+func (s *Server) handleTxnMark(w http.ResponseWriter, r *http.Request, mark func(string) (string, int, error)) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req cluster.TxnMark
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "transaction needs an id"})
+		return
+	}
+	st, code, err := mark(req.ID)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	switch st {
+	case cluster.TxnUnknown:
+		writeJSON(w, http.StatusNotFound, cluster.TxnStatusReply{ID: req.ID, Status: st})
+	default:
+		writeJSON(w, http.StatusOK, cluster.TxnStatusReply{ID: req.ID, Status: st})
+	}
+}
+
+func (s *Server) handleTxnStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "id query parameter required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.TxnStatusReply{ID: id, Status: s.txnStatus(id)})
+}
+
+// ---- startup replay ----
+
+// replayTxnRecord folds one typed journal record back into the
+// transaction tables during recovery. Prepare records re-pend (their
+// grace period restarts — the peers may still be recovering too);
+// marks re-resolve, and a commit mark applies the pended item through
+// the same episode batching as live traffic.
+func (s *Server) replayTxnRecord(kind wal.Kind, rec wal.Record, body []byte) error {
+	switch kind {
+	case wal.KindPrepare:
+		var req cluster.TxnPrepare
+		if err := json.Unmarshal(body, &req); err != nil {
+			return fmt.Errorf("server: journal record %d: %w", rec.Seq, err)
+		}
+		if _, ok := s.txnDone[req.ID]; ok {
+			return nil // resolved by a later mark the checkpoint kept
+		}
+		item := feedbackItem{positive: req.Approve}
+		for _, lw := range req.Links {
+			l, err := s.resolveLink(LinkJSON{E1: lw.E1, E2: lw.E2})
+			if err != nil {
+				return fmt.Errorf("server: journal record %d: %w (were the datasets loaded identically?)", rec.Seq, err)
+			}
+			item.links = append(item.links, l)
+		}
+		s.txnPending[req.ID] = &txnEntry{prepare: req, item: item, preparedAt: time.Now()}
+	case wal.KindCommit:
+		var m cluster.TxnMark
+		if err := json.Unmarshal(body, &m); err != nil {
+			return fmt.Errorf("server: journal record %d: %w", rec.Seq, err)
+		}
+		if e, ok := s.txnPending[m.ID]; ok {
+			delete(s.txnPending, m.ID)
+			it := e.item
+			it.seq = rec.Seq
+			s.applyItem(it)
+		}
+		s.markResolved(m.ID, cluster.TxnCommitted)
+	case wal.KindAbort:
+		var m cluster.TxnMark
+		if err := json.Unmarshal(body, &m); err != nil {
+			return fmt.Errorf("server: journal record %d: %w", rec.Seq, err)
+		}
+		delete(s.txnPending, m.ID)
+		s.markResolved(m.ID, cluster.TxnAborted)
+	default:
+		return fmt.Errorf("server: journal record %d: unknown record kind %q", rec.Seq, kind)
+	}
+	return nil
+}
+
+// ---- checkpoint envelope ----
+
+// ckptMagic marks a checkpoint blob that carries a server-level header
+// (resolved transaction outcomes) ahead of the engine state. Legacy
+// checkpoints are bare engine gobs, which cannot start with these
+// bytes.
+var ckptMagic = []byte("ALEXCKPT")
+
+// ckptHeader is the server-level checkpoint header.
+type ckptHeader struct {
+	// Resolved is the outcome table in resolution order, so pruning
+	// order survives the round trip.
+	Resolved []cluster.TxnStatusReply `json:"resolved,omitempty"`
+}
+
+// wrapCheckpoint prefixes the engine blob with the server-level header.
+// Callers hold logMu (the tables must be consistent with the journal
+// reset that follows).
+func (s *Server) wrapCheckpoint(engine []byte) []byte {
+	hdr := ckptHeader{}
+	for _, id := range s.txnOrder {
+		hdr.Resolved = append(hdr.Resolved, cluster.TxnStatusReply{ID: id, Status: s.txnDone[id]})
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		// Marshal of plain structs cannot fail; keep the checkpoint
+		// usable regardless.
+		hb = []byte("{}")
+	}
+	buf := make([]byte, 0, len(ckptMagic)+4+len(hb)+len(engine))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hb)))
+	buf = append(buf, hb...)
+	buf = append(buf, engine...)
+	return buf
+}
+
+// unwrapCheckpoint splits a checkpoint blob into the engine state and
+// the server header, accepting legacy blobs without one.
+func unwrapCheckpoint(state []byte) ([]byte, ckptHeader, error) {
+	var hdr ckptHeader
+	if !bytes.HasPrefix(state, ckptMagic) {
+		return state, hdr, nil
+	}
+	rest := state[len(ckptMagic):]
+	if len(rest) < 4 {
+		return nil, hdr, fmt.Errorf("server: checkpoint header truncated")
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) < n {
+		return nil, hdr, fmt.Errorf("server: checkpoint header truncated")
+	}
+	if err := json.Unmarshal(rest[:n], &hdr); err != nil {
+		return nil, hdr, fmt.Errorf("server: checkpoint header: %w", err)
+	}
+	return rest[n:], hdr, nil
+}
+
+// ---- resolver ----
+
+// txnResolver is the fleet shard's third long-lived goroutine: it
+// watches for prepares that outlived the grace period without a mark —
+// the router died, or the mark was lost — and settles them by asking
+// the other owners. Same lifecycle discipline as the writer and
+// replicator.
+func (s *Server) txnResolver() {
+	defer close(s.txnResolveDone)
+	interval := s.txnResolveAfter() / 2
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.die:
+			return // simulated crash
+		case <-tick.C:
+			s.resolveTxns()
+		}
+	}
+}
+
+// resolveTxns runs one resolution round over every overdue prepare.
+func (s *Server) resolveTxns() {
+	grace := s.txnResolveAfter()
+	s.logMu.Lock()
+	var overdue []cluster.TxnPrepare
+	for _, e := range s.txnPending {
+		if time.Since(e.preparedAt) >= grace {
+			overdue = append(overdue, e.prepare)
+		}
+	}
+	s.logMu.Unlock()
+	for _, p := range overdue {
+		s.resolveTxn(p)
+	}
+}
+
+// resolveTxn consults the transaction's other owners and applies the
+// decision. Every peer must answer: an unreachable peer stalls the
+// decision (its journal may hold the very prepare or mark that decides
+// the outcome), and the round retries at the next tick.
+func (s *Server) resolveTxn(p cluster.TxnPrepare) {
+	var statuses []string
+	for _, owner := range p.Owners {
+		if owner == s.fleet.ShardID {
+			continue
+		}
+		s.peerMu.Lock()
+		c := s.peerClients[owner]
+		s.peerMu.Unlock()
+		if c == nil {
+			s.txnMetrics.stalls.Inc()
+			return // topology incomplete: cannot decide
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), txnStatusTimeout)
+		st, err := c.TxnStatus(ctx, p.ID)
+		cancel()
+		if err != nil {
+			s.txnMetrics.stalls.Inc()
+			return // unreachable peer: stall, retry next tick
+		}
+		statuses = append(statuses, st.Status)
+	}
+	switch cluster.DecideTxn(statuses) {
+	case cluster.TxnCommitted:
+		if _, _, err := s.commitTxn(p.ID); err == nil {
+			s.txnMetrics.resolved.Inc()
+		}
+	case cluster.TxnAborted:
+		if _, _, err := s.abortTxn(p.ID); err == nil {
+			s.txnMetrics.resolved.Inc()
+		}
+	}
+}

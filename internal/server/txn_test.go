@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"alex/internal/cluster"
+	"alex/internal/core"
+	"alex/internal/federation"
+	"alex/internal/links"
+	"alex/internal/rdf"
+)
+
+// txnWorld builds a dataset pair whose dataset-1 entities split across
+// a 2-shard fleet: a1/a2 hash into shard 1's range, a10/a11 into shard
+// 0's (verified by construction — the test fails loudly if the hash
+// function ever changes that).
+func txnWorld(t *testing.T) (*rdf.Dict, []federation.Source, links.Set) {
+	t.Helper()
+	dict := rdf.NewDict()
+	g1 := rdf.NewGraphWithDict(dict)
+	g2 := rdf.NewGraphWithDict(dict)
+	label := rdf.IRI("http://ds1/label")
+	name := rdf.IRI("http://ds2/name")
+	var initial []links.Link
+	for _, s := range []string{"a1", "a2", "a10", "a11"} {
+		a := rdf.IRI("http://ds1/" + s)
+		b := rdf.IRI("http://ds2/b" + strings.TrimPrefix(s, "a"))
+		g1.Insert(rdf.Triple{S: a, P: label, O: rdf.Literal(s)})
+		g2.Insert(rdf.Triple{S: b, P: name, O: rdf.Literal(s + " prime")})
+		ia, _ := dict.Lookup(a)
+		ib, _ := dict.Lookup(b)
+		initial = append(initial, links.Link{E1: ia, E2: ib})
+	}
+	ranges := cluster.FleetRanges(2)
+	if cluster.OwnerOf(ranges, "http://ds1/a1") == cluster.OwnerOf(ranges, "http://ds1/a10") {
+		t.Fatal("txnWorld no longer splits across 2 shards; pick different entity names")
+	}
+	sources := []federation.Source{{Name: "ds1", Graph: g1}, {Name: "ds2", Graph: g2}}
+	return dict, sources, links.NewSet(initial...)
+}
+
+// txnShardConfig is the per-shard config for txn tests: fast flush and
+// replication, a resolver grace period the test controls, and an
+// optional durability dir.
+func txnShardConfig(n, id int, dataDir string, resolveAfter time.Duration) Config {
+	cfg := Config{
+		FlushInterval: 20 * time.Millisecond,
+		Fleet: &FleetConfig{
+			ShardID:         id,
+			Shards:          n,
+			ReplicateEvery:  25 * time.Millisecond,
+			TxnResolveAfter: resolveAfter,
+		},
+	}
+	if dataDir != "" {
+		cfg.DataDir = fmt.Sprintf("%s/shard-%d", dataDir, id)
+	}
+	return cfg
+}
+
+// txnShardEngine builds shard id's engine over the txnWorld data it
+// owns.
+func txnShardEngine(dict *rdf.Dict, sources []federation.Source, initial links.Set, n, id int) *core.System {
+	ranges := cluster.FleetRanges(n)
+	g1, g2 := sources[0].Graph, sources[1].Graph
+	var e1 []rdf.ID
+	for _, e := range g1.SubjectIDs() {
+		if ranges[id].ContainsIRI(dict.Term(e).Value) {
+			e1 = append(e1, e)
+		}
+	}
+	var init []links.Link
+	for _, l := range initial.Slice() {
+		if cluster.OwnerOf(ranges, dict.Term(l.E1).Value) == id {
+			init = append(init, l)
+		}
+	}
+	return core.New(g1, g2, e1, g2.SubjectIDs(), init, core.DefaultConfig())
+}
+
+// txnFleet starts an n-shard fleet over txnWorld.
+func txnFleet(t *testing.T, n int, dataDir string, resolveAfter time.Duration) ([]*Server, []*httptest.Server, []*Client, []string, *rdf.Dict, []federation.Source, links.Set) {
+	t.Helper()
+	dict, sources, initial := txnWorld(t)
+	var shards []*Server
+	var https []*httptest.Server
+	var clients []*Client
+	addrs := make([]string, n)
+	for id := 0; id < n; id++ {
+		s, err := New(txnShardEngine(dict, sources, initial, n, id), dict, sources, txnShardConfig(n, id, dataDir, resolveAfter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		c := NewClient(ts.URL)
+		c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1})
+		shards = append(shards, s)
+		https = append(https, ts)
+		clients = append(clients, c)
+		addrs[id] = ts.URL
+	}
+	for _, s := range shards {
+		if err := s.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for i := range shards {
+			https[i].Close()
+			shards[i].Close()
+		}
+	})
+	return shards, https, clients, addrs, dict, sources, initial
+}
+
+// waitTxnStatus polls /txn/status until it reports want.
+func waitTxnStatus(t *testing.T, c *Client, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.TxnStatus(context.Background(), id)
+		if err == nil && st.Status == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			got := "<error>"
+			if st != nil {
+				got = st.Status
+			}
+			t.Fatalf("txn %s status = %s (err %v), want %s", id, got, err, want)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// The satellite acceptance: a batch ID resent after a simulated router
+// crash between prepare and commit is applied exactly once, across a
+// shard crash in the middle, with the journal replay doing the
+// resurrection.
+func TestTxnCrashBetweenPrepareAndCommitAppliesOnce(t *testing.T) {
+	dataDir := t.TempDir()
+	// The resolver must not race this test's explicit marks.
+	shards, https, clients, addrs, dict, sources, initial := txnFleet(t, 2, dataDir, time.Hour)
+	owner := cluster.OwnerOf(cluster.FleetRanges(2), "http://ds1/a1")
+	c := clients[owner]
+	waitLinks(t, c, initial.Len())
+
+	prep := cluster.TxnPrepare{
+		ID:      "txn-crash-1",
+		Owners:  []int{owner},
+		Approve: false,
+		Links:   []cluster.LinkWire{{E1: "http://ds1/a1", E2: "http://ds2/b1"}},
+	}
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare = %d, %v", st, err)
+	}
+	// The router retried (at-least-once): the resend must dedup, not
+	// journal or pend a second copy.
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare resend = %d, %v", st, err)
+	}
+
+	// Crash the owner before any commit arrives (the "router died between
+	// prepare and commit" window, plus a shard crash for good measure).
+	https[owner].Close()
+	shards[owner].Abort()
+	restartTxnShard(t, shards, https, clients, addrs, dict, sources, initial, owner, dataDir, time.Hour)
+	c = clients[owner]
+
+	// Exactly ONE prepare record must replay — the dedup kept the resend
+	// out of the journal — and nothing may be applied yet.
+	if rec := shards[owner].Recovery(); rec.Replayed != 1 {
+		t.Fatalf("replayed %d journal records after prepare-only crash, want 1", rec.Replayed)
+	}
+	waitTxnStatus(t, c, prep.ID, cluster.TxnPrepared)
+	waitLinks(t, c, initial.Len())
+
+	// A post-crash prepare resend is still idempotent.
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusAccepted {
+		t.Fatalf("post-restart prepare resend = %d, %v", st, err)
+	}
+
+	// Commit applies the batch once; the resend answers from the
+	// resolved table without reapplying.
+	if st, err := c.TxnCommit(context.Background(), prep.ID); err != nil || st != http.StatusOK {
+		t.Fatalf("commit = %d, %v", st, err)
+	}
+	waitLinks(t, c, initial.Len()-1)
+	if st, err := c.TxnCommit(context.Background(), prep.ID); err != nil || st != http.StatusOK {
+		t.Fatalf("commit resend = %d, %v", st, err)
+	}
+	// A late prepare resend for a resolved batch reports the outcome.
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusOK {
+		t.Fatalf("post-commit prepare resend = %d, %v", st, err)
+	}
+	waitLinks(t, c, initial.Len()-1)
+
+	// Crash again: prepare + commit replay, the application survives,
+	// and the batch stays exactly-once.
+	https[owner].Close()
+	shards[owner].Abort()
+	restartTxnShard(t, shards, https, clients, addrs, dict, sources, initial, owner, dataDir, time.Hour)
+	c = clients[owner]
+	if rec := shards[owner].Recovery(); rec.Replayed != 2 {
+		t.Fatalf("replayed %d journal records after commit crash, want 2 (prepare+commit)", rec.Replayed)
+	}
+	waitTxnStatus(t, c, prep.ID, cluster.TxnCommitted)
+	waitLinks(t, c, initial.Len()-1)
+	if st, err := c.TxnCommit(context.Background(), prep.ID); err != nil || st != http.StatusOK {
+		t.Fatalf("post-replay commit resend = %d, %v", st, err)
+	}
+	waitLinks(t, c, initial.Len()-1)
+}
+
+// restartTxnShard rebuilds shard id on its original address and data
+// directory, updating the harness slices in place.
+func restartTxnShard(t *testing.T, shards []*Server, https []*httptest.Server, clients []*Client, addrs []string, dict *rdf.Dict, sources []federation.Source, initial links.Set, id int, dataDir string, resolveAfter time.Duration) {
+	t.Helper()
+	n := len(shards)
+	s, err := New(txnShardEngine(dict, sources, initial, n, id), dict, sources, txnShardConfig(n, id, dataDir, resolveAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := strings.TrimPrefix(addrs[id], "http://")
+	var l net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	if err := s.SetPeers(addrs); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addrs[id])
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1})
+	shards[id], https[id], clients[id] = s, ts, c
+	t.Cleanup(func() { ts.Close(); s.Close() })
+}
+
+// A fully-prepared batch whose router died before any commit must be
+// committed by the owners' resolvers: each asks the other, sees
+// "prepared" everywhere, and applies (all-or-nothing, the "all" side).
+func TestTxnResolverCommitsFullyPrepared(t *testing.T) {
+	_, _, clients, _, _, _, initial := txnFleet(t, 2, "", 150*time.Millisecond)
+	ranges := cluster.FleetRanges(2)
+	o1 := cluster.OwnerOf(ranges, "http://ds1/a1")
+	o10 := cluster.OwnerOf(ranges, "http://ds1/a10")
+	for _, c := range clients {
+		waitLinks(t, c, initial.Len())
+	}
+
+	id := "txn-resolve-commit"
+	owners := []int{0, 1}
+	if st, err := clients[o1].TxnPrepare(context.Background(), cluster.TxnPrepare{
+		ID: id, Owners: owners, Approve: false,
+		Links: []cluster.LinkWire{{E1: "http://ds1/a1", E2: "http://ds2/b1"}},
+	}); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare at owner %d = %d, %v", o1, st, err)
+	}
+	if st, err := clients[o10].TxnPrepare(context.Background(), cluster.TxnPrepare{
+		ID: id, Owners: owners, Approve: false,
+		Links: []cluster.LinkWire{{E1: "http://ds1/a10", E2: "http://ds2/b10"}},
+	}); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare at owner %d = %d, %v", o10, st, err)
+	}
+
+	// No commit ever arrives; the resolvers must settle it to committed
+	// on BOTH owners and the rejections must propagate fleet-wide.
+	waitTxnStatus(t, clients[0], id, cluster.TxnCommitted)
+	waitTxnStatus(t, clients[1], id, cluster.TxnCommitted)
+	for _, c := range clients {
+		waitLinks(t, c, initial.Len()-2)
+	}
+}
+
+// A batch that prepared on only SOME owners (the router died mid-
+// prepare, so the client never saw an ack) must abort everywhere: the
+// prepared owner's resolver sees the other owner's "unknown" and drops
+// the batch (all-or-nothing, the "nothing" side).
+func TestTxnResolverAbortsPartialPrepare(t *testing.T) {
+	_, _, clients, _, _, _, initial := txnFleet(t, 2, "", 150*time.Millisecond)
+	ranges := cluster.FleetRanges(2)
+	o1 := cluster.OwnerOf(ranges, "http://ds1/a1")
+	for _, c := range clients {
+		waitLinks(t, c, initial.Len())
+	}
+
+	id := "txn-resolve-abort"
+	if st, err := clients[o1].TxnPrepare(context.Background(), cluster.TxnPrepare{
+		ID: id, Owners: []int{0, 1}, Approve: false,
+		Links: []cluster.LinkWire{{E1: "http://ds1/a1", E2: "http://ds2/b1"}},
+	}); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare = %d, %v", st, err)
+	}
+
+	waitTxnStatus(t, clients[o1], id, cluster.TxnAborted)
+	// Nothing was applied anywhere: the aborted slice's link survives.
+	for _, c := range clients {
+		waitLinks(t, c, initial.Len())
+	}
+}
+
+// Checkpoints must not run while a prepare is unresolved (the journal
+// reset would discard the acked batch), and resolved outcomes must ride
+// inside the checkpoint so idempotency survives a checkpoint+restart.
+func TestCheckpointSuppressedWhileTxnPending(t *testing.T) {
+	dataDir := t.TempDir()
+	shards, https, clients, addrs, dict, sources, initial := txnFleet(t, 1, dataDir, time.Hour)
+	c := clients[0]
+	waitLinks(t, c, initial.Len())
+
+	prep := cluster.TxnPrepare{
+		ID: "txn-ckpt", Owners: []int{0}, Approve: false,
+		Links: []cluster.LinkWire{{E1: "http://ds1/a1", E2: "http://ds2/b1"}},
+	}
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusAccepted {
+		t.Fatalf("prepare = %d, %v", st, err)
+	}
+	// With the prepare pending, a checkpoint attempt must refuse to run:
+	// after a crash the prepare record must still replay. checkpoint is
+	// writer-goroutine-only, so crash the writer first (Abort joins it,
+	// leaving the journal as a real crash would) and drive the attempt
+	// from here on the quiescent server.
+	https[0].Close()
+	shards[0].Abort()
+	shards[0].checkpoint()
+	restartTxnShard(t, shards, https, clients, addrs, dict, sources, initial, 0, dataDir, time.Hour)
+	c = clients[0]
+	if rec := shards[0].Recovery(); rec.Replayed != 1 {
+		t.Fatalf("replayed %d records, want 1 — the checkpoint discarded a pending prepare", rec.Replayed)
+	}
+	waitTxnStatus(t, c, prep.ID, cluster.TxnPrepared)
+
+	// Resolve it, checkpoint for real, restart: the outcome must come
+	// back from the checkpoint envelope (no journal records left), so a
+	// very late resend still answers "committed" instead of re-preparing.
+	if st, err := c.TxnCommit(context.Background(), prep.ID); err != nil || st != http.StatusOK {
+		t.Fatalf("commit = %d, %v", st, err)
+	}
+	waitLinks(t, c, initial.Len()-1)
+	https[0].Close()
+	shards[0].Abort()
+	shards[0].checkpoint()
+	restartTxnShard(t, shards, https, clients, addrs, dict, sources, initial, 0, dataDir, time.Hour)
+	c = clients[0]
+	rec := shards[0].Recovery()
+	if rec.CheckpointSeq == 0 {
+		t.Fatal("second checkpoint never happened")
+	}
+	if rec.Replayed != 0 {
+		t.Fatalf("replayed %d records after checkpoint, want 0", rec.Replayed)
+	}
+	waitTxnStatus(t, c, prep.ID, cluster.TxnCommitted)
+	if st, err := c.TxnPrepare(context.Background(), prep); err != nil || st != http.StatusOK {
+		t.Fatalf("late prepare resend after checkpointed outcome = %d, %v", st, err)
+	}
+	waitLinks(t, c, initial.Len()-1)
+}
+
+// Unit coverage for the checkpoint envelope itself, including the
+// legacy passthrough.
+func TestCheckpointEnvelopeRoundTrip(t *testing.T) {
+	s := &Server{
+		txnPending: map[string]*txnEntry{},
+		txnDone:    map[string]string{"t1": cluster.TxnCommitted, "t2": cluster.TxnAborted},
+		txnOrder:   []string{"t1", "t2"},
+	}
+	engine := []byte("engine-gob-bytes")
+	blob := s.wrapCheckpoint(engine)
+	got, hdr, err := unwrapCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, engine) {
+		t.Fatalf("engine bytes corrupted: %q", got)
+	}
+	if len(hdr.Resolved) != 2 || hdr.Resolved[0].ID != "t1" || hdr.Resolved[0].Status != cluster.TxnCommitted ||
+		hdr.Resolved[1].ID != "t2" || hdr.Resolved[1].Status != cluster.TxnAborted {
+		t.Fatalf("resolved table mangled: %+v", hdr.Resolved)
+	}
+
+	// A legacy checkpoint (raw engine gob, no magic) passes through.
+	legacy := []byte{0x1f, 0x8b, 'g', 'o', 'b'}
+	got, hdr, err = unwrapCheckpoint(legacy)
+	if err != nil || !bytes.Equal(got, legacy) || hdr.Resolved != nil {
+		t.Fatalf("legacy passthrough failed: %q, %+v, %v", got, hdr, err)
+	}
+
+	// Truncated envelopes fail loudly rather than feeding garbage to the
+	// engine decoder.
+	if _, _, err := unwrapCheckpoint(blob[:len(ckptMagic)+2]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package wal
+
+// Typed record envelopes.
+//
+// Through PR 6 every journal payload was a bare JSON feedback body.
+// The fleet's prepare/commit protocol needs to journal three more
+// shapes — a prepared transaction, its commit mark, and its abort mark
+// — and replay must tell them apart without guessing at JSON fields.
+//
+// The envelope is two bytes: a 0x00 sentinel (JSON can never start
+// with 0x00; the legacy records all start with '{') followed by a kind
+// byte, then the payload. DecodeTyped treats any payload without the
+// sentinel as a legacy feedback record, so journals written before
+// this scheme replay unchanged.
+
+// Kind identifies what a journal payload encodes.
+type Kind byte
+
+const (
+	// KindFeedback is a single-owner feedback batch: the payload is a
+	// FeedbackRequest JSON body. Legacy (unenveloped) records decode as
+	// this kind.
+	KindFeedback Kind = 'F'
+	// KindPrepare is a prepared cross-shard transaction: the payload is
+	// a cluster.TxnPrepare JSON body. The links are journaled but not
+	// applied until a commit mark (or a peer-resolved outcome) arrives.
+	KindPrepare Kind = 'P'
+	// KindCommit marks a prepared transaction committed: the payload is
+	// a cluster.TxnMark JSON body.
+	KindCommit Kind = 'C'
+	// KindAbort marks a prepared transaction aborted: the payload is a
+	// cluster.TxnMark JSON body.
+	KindAbort Kind = 'A'
+)
+
+// typedSentinel prefixes enveloped payloads. JSON payloads — the only
+// record shape older journals contain — cannot begin with it.
+const typedSentinel = 0x00
+
+// EncodeTyped wraps payload in a kind envelope for Append.
+func EncodeTyped(k Kind, payload []byte) []byte {
+	buf := make([]byte, 2+len(payload))
+	buf[0] = typedSentinel
+	buf[1] = byte(k)
+	copy(buf[2:], payload)
+	return buf
+}
+
+// DecodeTyped splits a journal payload into its kind and body. Payloads
+// without the envelope sentinel are legacy feedback records and decode
+// as (KindFeedback, data).
+func DecodeTyped(data []byte) (Kind, []byte) {
+	if len(data) >= 2 && data[0] == typedSentinel {
+		return Kind(data[1]), data[2:]
+	}
+	return KindFeedback, data
+}

@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTypedRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindFeedback, KindPrepare, KindCommit, KindAbort} {
+		payload := []byte(`{"id":"abc"}`)
+		gotK, gotP := DecodeTyped(EncodeTyped(k, payload))
+		if gotK != k || !bytes.Equal(gotP, payload) {
+			t.Fatalf("round trip %c: got (%c, %q)", k, gotK, gotP)
+		}
+	}
+}
+
+func TestTypedLegacyFallback(t *testing.T) {
+	// Journals written before the envelope hold bare JSON feedback
+	// bodies; they must decode as feedback with the payload untouched.
+	legacy := []byte(`{"approve":true,"links":[{"e1":"a","e2":"b"}]}`)
+	k, p := DecodeTyped(legacy)
+	if k != KindFeedback || !bytes.Equal(p, legacy) {
+		t.Fatalf("legacy payload decoded as (%c, %q)", k, p)
+	}
+}
+
+func TestTypedEmptyPayloads(t *testing.T) {
+	k, p := DecodeTyped(EncodeTyped(KindCommit, nil))
+	if k != KindCommit || len(p) != 0 {
+		t.Fatalf("empty typed payload decoded as (%c, %q)", k, p)
+	}
+	// Degenerate inputs must not panic and must fall back to legacy.
+	if k, _ := DecodeTyped(nil); k != KindFeedback {
+		t.Fatalf("nil payload kind %c", k)
+	}
+	if k, _ := DecodeTyped([]byte{typedSentinel}); k != KindFeedback {
+		t.Fatalf("lone sentinel kind %c", k)
+	}
+}

@@ -28,12 +28,20 @@ FLEET="$S0,$S1,$S2"
 DATA="$(mktemp -d)"
 declare -a PIDS=()
 
+# Cleanup runs exactly once, on normal exit OR on INT/TERM — a ^C'd
+# smoke run must not strand alexd processes or temp data. After
+# cleaning, re-raise the signal so the caller sees the right exit code.
+CLEANED=0
 cleanup() {
+  [ "$CLEANED" = 1 ] && return
+  CLEANED=1
   for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
   wait 2>/dev/null || true
   rm -rf "$DATA"
 }
 trap cleanup EXIT
+trap 'cleanup; trap - INT; kill -INT $$' INT
+trap 'cleanup; trap - TERM; kill -TERM $$' TERM
 
 fail() { echo "fleet-smoke: FAIL: $*" >&2; exit 1; }
 
