@@ -21,9 +21,17 @@ vet:
 
 # lint builds and runs alexlint, the ALEX invariant analyzer suite
 # (internal/analysis). Also usable as `go vet -vettool=bin/alexlint`.
+# The wall-clock budget guards the two-phase loader: the repo-wide
+# typecheck + fact fixpoint must stay interactive, or the gate stops
+# being run before commits.
 lint:
-	$(GO) build -o bin/alexlint ./cmd/alexlint
-	./bin/alexlint ./...
+	@start=$$(date +%s) && \
+	$(GO) build -o bin/alexlint ./cmd/alexlint && \
+	./bin/alexlint ./... && \
+	elapsed=$$(( $$(date +%s) - start )) && \
+	echo "lint: clean in $${elapsed}s (budget 60s)" && \
+	if [ $$elapsed -ge 60 ]; then \
+		echo "lint: FAIL: $${elapsed}s exceeds the 60s budget" >&2; exit 1; fi
 
 verify: build vet lint test race
 	@echo "verify: OK"

@@ -284,6 +284,7 @@ func loadGraph(path string, dict *rdf.Dict) *rdf.Graph {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := rdf.NewGraphWithDict(dict)
 	if _, err := rdf.ReadNTriples(bufio.NewReader(f), g); err != nil {
@@ -297,6 +298,7 @@ func loadLinks(path string, dict *rdf.Dict) links.Set {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := rdf.NewGraphWithDict(dict)
 	if _, err := rdf.ReadNTriples(bufio.NewReader(f), g); err != nil {

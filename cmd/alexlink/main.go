@@ -75,12 +75,13 @@ func main() {
 	}
 
 	out := os.Stdout
+	var outFile *os.File
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		out = f
 	}
 	w := bufio.NewWriter(out)
@@ -92,6 +93,11 @@ func main() {
 	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "wrote %d links\n", final.Len())
 }
 
@@ -100,6 +106,7 @@ func loadGraph(path string, dict *alex.Dict) *alex.Graph {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := alex.NewGraphWithDict(dict)
 	if _, err := alex.ReadNTriples(f, g); err != nil {
@@ -113,6 +120,7 @@ func loadTruth(path string, dict *alex.Dict) alex.LinkSet {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := alex.NewGraphWithDict(dict)
 	if _, err := alex.ReadNTriples(f, g); err != nil {

@@ -5,6 +5,8 @@
 //
 //	alexlint [packages]     # defaults to ./...
 //	alexlint -list          # describe the analyzers
+//	alexlint -json ./...    # one JSON finding per line
+//	alexlint -github ./...  # GitHub ::error annotations
 //
 // As a go vet tool:
 //
@@ -12,8 +14,10 @@
 //
 // In vettool mode cmd/go drives the binary with the standard protocol:
 // `-V=full` prints a cacheable version line, `-flags` declares the
-// (empty) analyzer flag set, and a lone *.cfg argument selects
-// unitchecker mode, analyzing the single package the config describes.
+// analyzer flag set, and a lone *.cfg argument selects unitchecker
+// mode, analyzing the single package the config describes. Facts
+// (interprocedural function summaries, internal/analysis/facts.go) are
+// exchanged between per-package runs through cmd/go's .vetx files.
 //
 // Exit status is 0 when the tree is clean, 2 when findings were
 // reported, and 1 on operational errors.
@@ -21,6 +25,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,11 +43,13 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("alexlint", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: alexlint [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: alexlint [-list] [-json|-github] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the ALEX invariant analyzers; packages default to ./...\n")
 		fs.PrintDefaults()
 	}
 	list := fs.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON, one object per line")
+	githubOut := fs.Bool("github", false, "emit findings as GitHub ::error annotations")
 	version := fs.String("V", "", "if 'full', print version and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
 	if err := fs.Parse(args); err != nil {
@@ -67,10 +74,21 @@ func run(args []string) int {
 		return 0
 	}
 
+	emit := emitText
+	switch {
+	case *jsonOut && *githubOut:
+		fmt.Fprintln(os.Stderr, "alexlint: -json and -github are mutually exclusive")
+		return 1
+	case *jsonOut:
+		emit = emitJSON
+	case *githubOut:
+		emit = emitGitHub
+	}
+
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVet(rest[0])
 	}
-	return runStandalone(fs.Args())
+	return runStandalone(fs.Args(), emit)
 }
 
 // printVersion emits the `-V=full` line cmd/go hashes into its vet
@@ -95,28 +113,66 @@ func firstLine(s string) string {
 	return s
 }
 
-// runStandalone loads packages with the go tool and analyzes each one.
-func runStandalone(patterns []string) int {
+// ---- output modes ----
+
+func emitText(rel func(string) string, f analysis.Finding) {
+	fmt.Printf("%s:%d:%d: %s (%s)\n",
+		rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// jsonFinding is the -json wire shape: one finding per line, stable
+// field names for CI tooling.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(rel func(string) string, f analysis.Finding) {
+	out, _ := json.Marshal(jsonFinding{
+		File:     rel(f.Pos.Filename),
+		Line:     f.Pos.Line,
+		Column:   f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+	})
+	fmt.Println(string(out))
+}
+
+// emitGitHub prints workflow-command annotations so findings render
+// inline on pull requests. Message text must escape %, CR and LF per
+// the workflow-command encoding.
+func emitGitHub(rel func(string) string, f analysis.Finding) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	fmt.Printf("::error file=%s,line=%d,col=%d,title=alexlint/%s::%s\n",
+		rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, esc.Replace(f.Message))
+}
+
+// runStandalone loads packages (and their module dependency graph, for
+// facts) with the go tool and analyzes each target.
+func runStandalone(patterns []string, emit func(func(string) string, analysis.Finding)) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load("", patterns...)
+	res, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alexlint:", err)
 		return 1
 	}
 	cwd, _ := os.Getwd()
+	rel := func(path string) string { return relpath(cwd, path) }
 	found := 0
-	for _, pkg := range pkgs {
-		findings, err := analysis.Run(pkg, suite.Analyzers)
+	for _, pkg := range res.Pkgs {
+		findings, err := analysis.Run(pkg, res.Facts, suite.Analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "alexlint:", err)
 			return 1
 		}
 		for _, f := range findings {
 			found++
-			fmt.Printf("%s:%d:%d: %s (%s)\n",
-				relpath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+			emit(rel, f)
 		}
 	}
 	if found > 0 {
@@ -125,26 +181,16 @@ func runStandalone(patterns []string) int {
 	return 0
 }
 
-// runVet analyzes the one package described by a cmd/go vet config.
+// runVet analyzes the one package described by a cmd/go vet config,
+// reading dependency facts from (and writing this package's facts to)
+// the .vetx files cmd/go manages.
 func runVet(cfgPath string) int {
 	cfg, err := analysis.ReadVetConfig(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alexlint:", err)
 		return 1
 	}
-	// cmd/go expects the facts file to exist even though the suite
-	// exchanges none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "alexlint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		// Dependency pass, run only to produce facts: nothing to do.
-		return 0
-	}
-	pkg, err := analysis.LoadVetPackage(cfg)
+	pkg, facts, err := analysis.LoadVetPackage(cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -152,7 +198,21 @@ func runVet(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "alexlint:", err)
 		return 1
 	}
-	findings, err := analysis.Run(pkg, suite.Analyzers)
+	if cfg.VetxOutput != "" {
+		data, err := facts.EncodeJSON()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alexlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass, run only to produce facts.
+		return 0
+	}
+	findings, err := analysis.Run(pkg, facts, suite.Analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alexlint:", err)
 		return 1

@@ -114,13 +114,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w := bufio.NewWriter(f)
 		sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
 		for _, l := range after.Slice() {
 			fmt.Fprintf(w, "%s\n", alex.Triple{S: dict.Term(l.E1), P: sameAs, O: dict.Term(l.E2)})
 		}
 		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -133,6 +135,7 @@ func loadGraph(path string, dict *alex.Dict) *alex.Graph {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := alex.NewGraphWithDict(dict)
 	if _, err := alex.ReadNTriples(f, g); err != nil {
@@ -146,6 +149,7 @@ func loadLinks(path string, dict *alex.Dict) alex.LinkSet {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore syncerr read-only handle opened with os.Open; Close has no buffered writes to lose
 	defer f.Close()
 	g := alex.NewGraphWithDict(dict)
 	if _, err := alex.ReadNTriples(f, g); err != nil {

@@ -143,13 +143,16 @@ func saveLinks(sys *alex.System, dict *alex.Dict, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
 	for _, l := range sys.Candidates().Slice() {
 		fmt.Fprintf(w, "%s\n", alex.Triple{S: dict.Term(l.E1), P: sameAs, O: dict.Term(l.E2)})
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		_ = f.Close() // the flush error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 func writeLinksIfRequested(sys *alex.System, dict *alex.Dict, linksOut string) {

@@ -57,8 +57,10 @@ func writeGraph(path string, g *alex.Graph) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := alex.WriteNTriples(f, g); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 }
@@ -68,13 +70,15 @@ func writeTruth(path string, ds *alex.SynthDataset) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	sameAs := alex.IRI("http://www.w3.org/2002/07/owl#sameAs")
 	for _, l := range ds.GroundTruth.Slice() {
 		fmt.Fprintf(w, "%s\n", alex.Triple{S: ds.Dict.Term(l.E1), P: sameAs, O: ds.Dict.Term(l.E2)})
 	}
 	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 }

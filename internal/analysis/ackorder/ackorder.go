@@ -13,12 +13,15 @@
 // carry no durability promise and are exempt) is a finding unless the
 // write is dominated by a durable append:
 //
-//   - an "ack" is a call to net/http.ResponseWriter.WriteHeader — or to
-//     a package function that transitively reaches WriteHeader, like
-//     writeJSON — with a constant 202 argument;
-//   - a "barrier" is a call to (*wal.Log).Append, or to a package
-//     function that transitively contains one (like Server.accept,
-//     whose durable path appends and fsyncs before returning);
+//   - an "ack" is a call to a function whose interprocedural facts say
+//     it reaches net/http.ResponseWriter.WriteHeader (AcksHTTP — e.g.
+//     writeJSON, in this package or another), with a constant 202
+//     argument;
+//   - a "barrier" is a call whose facts say it journals durably
+//     (Journals): (*wal.Log).Append itself, any function that
+//     transitively contains one (like Server.accept, whose durable
+//     path appends and fsyncs before returning), or a Client RPC whose
+//     success means a remote shard journaled;
 //   - "dominated" means the barrier executes on every path into the
 //     ack: it appears earlier in the same or an enclosing block (or an
 //     if/switch init clause), not hidden inside a conditional branch,
@@ -27,14 +30,14 @@
 // The dominance test is structural (Go's structured control flow, no
 // goto), so a barrier inside an `if` body or a `select` case does not
 // count — exactly the shapes that reorder acks ahead of appends.
+// Before the facts framework both closures were computed per package;
+// facts now carry them across package boundaries, which is what lets
+// txnorder extend this contract to the cross-shard prepare path.
 package ackorder
 
 import (
 	"go/ast"
 	"go/constant"
-	"go/token"
-	"go/types"
-	"strings"
 
 	"alex/internal/analysis"
 )
@@ -51,17 +54,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	idx := indexFuncs(pass)
-	barriers := transitive(pass, idx, isAppendCall)
-	ackWriters := transitive(pass, idx, isWriteHeaderCall)
-
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, barriers, ackWriters, fn.Body)
+			checkFunc(pass, fn.Body)
 		}
 	}
 	return nil
@@ -71,41 +70,40 @@ func run(pass *analysis.Pass) error {
 // dominates. Function literals are analyzed as part of the enclosing
 // body: a barrier inside a closure does not dominate statements outside
 // it (the closure may never run), which the path test encodes.
-func checkFunc(pass *analysis.Pass, barriers, ackWriters funcSet, body *ast.BlockStmt) {
-	var barrierPaths, ackPaths []nodePath
-	walkPaths(body, func(path nodePath) {
-		call, ok := path.node().(*ast.CallExpr)
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var barrierPaths, ackPaths []analysis.NodePath
+	analysis.WalkPaths(body, func(path analysis.NodePath) {
+		call, ok := path.Node().(*ast.CallExpr)
 		if !ok {
 			return
 		}
-		if calleeIn(pass, call, barriers) || isAppendCall(pass, call) {
+		_, facts := pass.CallFacts(call)
+		if facts.Journals {
 			barrierPaths = append(barrierPaths, path)
 		}
-		if writes202(pass, call, ackWriters) {
+		if facts.AcksHTTP && Writes202(pass, call) {
 			ackPaths = append(ackPaths, path)
 		}
 	})
 	for _, ack := range ackPaths {
 		dominated := false
 		for _, b := range barrierPaths {
-			if dominates(b, ack) {
+			if analysis.Dominates(b, ack) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			pass.Reportf(ack.node().Pos(), "202 Accepted written without a dominating journal append; the ack is a durability promise — append (and fsync) to the WAL first")
+			pass.Reportf(ack.Node().Pos(), "202 Accepted written without a dominating journal append; the ack is a durability promise — append (and fsync) to the WAL first")
 		}
 	}
 }
 
-// writes202 reports whether call acknowledges with constant status 202:
-// either ResponseWriter.WriteHeader(202) or a package status-writer
-// (e.g. writeJSON) passed a constant 202 argument.
-func writes202(pass *analysis.Pass, call *ast.CallExpr, ackWriters funcSet) bool {
-	if !isWriteHeaderCall(pass, call) && !calleeIn(pass, call, ackWriters) {
-		return false
-	}
+// Writes202 reports whether call carries a constant 202 status
+// argument — the shape that, on a status-writing callee (AcksHTTP),
+// makes the call an ack: ResponseWriter.WriteHeader(202) directly, or
+// writeJSON(w, http.StatusAccepted, v). Shared with txnorder.
+func Writes202(pass *analysis.Pass, call *ast.CallExpr) bool {
 	for _, arg := range call.Args {
 		tv, ok := pass.TypesInfo.Types[arg]
 		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
@@ -113,215 +111,6 @@ func writes202(pass *analysis.Pass, call *ast.CallExpr, ackWriters funcSet) bool
 		}
 		if v, ok := constant.Int64Val(tv.Value); ok && v == 202 {
 			return true
-		}
-	}
-	return false
-}
-
-// isAppendCall matches the durable barrier itself: a call to the Append
-// method of the write-ahead log (receiver type Log of a package whose
-// import path ends in internal/wal, so fixtures exercising the real
-// package resolve too).
-func isAppendCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	fn := callee(pass, call)
-	if fn == nil || fn.Name() != "Append" {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	recv := sig.Recv().Type()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Name() != "Log" {
-		return false
-	}
-	pkg := named.Obj().Pkg()
-	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/wal")
-}
-
-// isWriteHeaderCall matches net/http.ResponseWriter.WriteHeader.
-func isWriteHeaderCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	fn := callee(pass, call)
-	if fn == nil || fn.Name() != "WriteHeader" {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	recv := sig.Recv().Type()
-	named, ok := recv.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
-}
-
-// ---- package function indexing and transitive closure ----
-
-type funcSet map[*types.Func]bool
-
-// indexFuncs maps each package-level function/method object to its
-// declaration.
-func indexFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
-	idx := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok {
-				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
-					idx[obj] = fn
-				}
-			}
-		}
-	}
-	return idx
-}
-
-// transitive computes the package functions whose body contains a call
-// matching direct, directly or through other package functions.
-func transitive(pass *analysis.Pass, idx map[*types.Func]*ast.FuncDecl, direct func(*analysis.Pass, *ast.CallExpr) bool) funcSet {
-	memo := funcSet{}
-	visiting := map[*types.Func]bool{}
-	var visit func(fn *types.Func) bool
-	visit = func(fn *types.Func) bool {
-		if v, ok := memo[fn]; ok {
-			return v
-		}
-		if visiting[fn] {
-			return false // break recursion cycles conservatively
-		}
-		visiting[fn] = true
-		defer delete(visiting, fn)
-		decl := idx[fn]
-		found := false
-		if decl != nil && decl.Body != nil {
-			ast.Inspect(decl.Body, func(n ast.Node) bool {
-				if found {
-					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if direct(pass, call) {
-					found = true
-					return false
-				}
-				if c := callee(pass, call); c != nil && idx[c] != nil && visit(c) {
-					found = true
-					return false
-				}
-				return true
-			})
-		}
-		memo[fn] = found
-		return found
-	}
-	for fn := range idx {
-		visit(fn)
-	}
-	return memo
-}
-
-func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
-}
-
-func calleeIn(pass *analysis.Pass, call *ast.CallExpr, set funcSet) bool {
-	fn := callee(pass, call)
-	return fn != nil && set[fn]
-}
-
-// ---- structural dominance ----
-
-// nodePath is a node plus its ancestor chain from the analyzed body's
-// root block down to the node itself.
-type nodePath []ast.Node
-
-func (p nodePath) node() ast.Node { return p[len(p)-1] }
-
-// walkPaths visits every node under root, handing fn the full ancestor
-// path.
-func walkPaths(root ast.Node, fn func(nodePath)) {
-	var stack []ast.Node
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		stack = append(stack, n)
-		fn(append(nodePath(nil), stack...))
-		return true
-	})
-}
-
-// dominates reports whether the barrier at path b executes on every
-// path that reaches the ack at path a. With structured control flow
-// (no goto) that holds exactly when b appears strictly earlier in the
-// source and b's chain below the deepest common ancestor never enters a
-// conditionally-executed region: an if/else body, a switch or select
-// clause, a loop body or post statement, or a function literal.
-func dominates(b, a nodePath) bool {
-	if b.node().Pos() >= a.node().Pos() {
-		return false
-	}
-	common := 0
-	for common < len(b)-1 && common < len(a)-1 && b[common] == a[common] {
-		common++
-	}
-	// b[common-1] is the deepest shared ancestor. Check every edge on
-	// b's own chain below it, starting with the ancestor's edge into
-	// b's branch: that is where then/else (and sibling-clause)
-	// divergence shows up. A case/comm clause that contains BOTH nodes
-	// gates them identically, so its edge is exempt at the shared level.
-	for i := common - 1; i < len(b)-1; i++ {
-		parent, child := b[i], b[i+1]
-		if i == common-1 {
-			switch parent.(type) {
-			case *ast.CaseClause, *ast.CommClause:
-				continue // same clause: sequential for both nodes
-			}
-		}
-		if conditionalEdge(parent, child) {
-			return false
-		}
-	}
-	return true
-}
-
-// conditionalEdge reports whether child, as a direct AST child of
-// parent, only executes conditionally relative to code after parent.
-func conditionalEdge(parent, child ast.Node) bool {
-	switch p := parent.(type) {
-	case *ast.IfStmt:
-		return child == p.Body || child == p.Else
-	case *ast.ForStmt:
-		return child == p.Body || child == p.Post
-	case *ast.RangeStmt:
-		return child == p.Body
-	case *ast.CaseClause, *ast.CommClause:
-		return true // switch/select bodies and even their exprs may not run
-	case *ast.FuncLit:
-		return true // a closure's body runs zero or more times, later
-	case *ast.BinaryExpr:
-		// Short-circuit operators: the right operand is conditional.
-		if p.Op == token.LAND || p.Op == token.LOR {
-			return child == p.Y
 		}
 	}
 	return false

@@ -3,20 +3,33 @@
 // surface that the ALEX invariant checkers need.
 //
 // The repo deliberately has no module dependencies, so instead of the
-// x/tools driver stack this package provides the same three pieces in
+// x/tools driver stack this package provides the same pieces in
 // ~stdlib-only form:
 //
 //   - Analyzer / Pass / Diagnostic — the contract an invariant checker
 //     implements (analysis.go, this file);
-//   - a go/list-based package loader that parses and typechecks module
-//     packages offline using the build cache's export data (load.go);
+//   - a two-phase go/list-based loader that parses and typechecks the
+//     whole module dependency graph from source and computes
+//     interprocedural facts over it (load.go, facts.go);
+//   - structural dominance helpers shared by the ordering analyzers
+//     (dominance.go);
 //   - an analysistest-style fixture harness driven by `// want` comments
 //     (internal/analysis/analysistest).
 //
-// The five shipped analyzers (snapmut, ackorder, syncerr, globalrand,
-// gotrack) encode the concurrency, durability and determinism contracts
-// that PR-2's review had to enforce by hand; cmd/alexlint is the
-// multichecker binary that runs them in `make verify` and CI.
+// The nine shipped analyzers (snapmut, ackorder, syncerr, globalrand,
+// gotrack, lockhold, ctxflow, txnorder, mutcopy) encode the
+// concurrency, durability and determinism contracts of the serving
+// fleet; cmd/alexlint is the multichecker binary that runs them in
+// `make verify` and CI.
+//
+// Findings can be suppressed in place with a directive comment
+//
+//	//lint:ignore analyzer1,analyzer2 reason the invariant holds anyway
+//
+// which silences the named analyzers on its own line and the line
+// below it. lockhold additionally honors the directive at a mutex's
+// declaration, exempting every region of that one lock (the
+// journal-holds-logMu design in internal/server).
 package analysis
 
 import (
@@ -59,12 +72,43 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
-	Report    func(Diagnostic)
+	// Facts is the load's interprocedural fact table; nil outside a
+	// framework-driven run. Use FuncFacts, which falls back to the
+	// intrinsic seeds when the table is absent.
+	Facts  *FactSet
+	Report func(Diagnostic)
+
+	ignores ignoreIndex
 }
 
 // Reportf reports a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FuncFacts returns the interprocedural facts for fn (see FuncFacts in
+// facts.go). Safe with a nil fact table: intrinsic seeds still answer.
+func (p *Pass) FuncFacts(fn *types.Func) (FuncFacts, bool) {
+	return p.Facts.ForFunc(fn)
+}
+
+// CallFacts resolves call's callee and returns its facts.
+func (p *Pass) CallFacts(call *ast.CallExpr) (*types.Func, FuncFacts) {
+	fn := CalleeFunc(p.TypesInfo, call)
+	if fn == nil {
+		return nil, FuncFacts{}
+	}
+	f, _ := p.FuncFacts(fn)
+	return fn, f
+}
+
+// IgnoredAt reports whether a `//lint:ignore` directive naming analyzer
+// covers pos: the directive sits on pos's line or the line above it.
+// Analyzers use it for declaration-scoped exemptions (lockhold consults
+// the mutex's declaration); Run applies it to every finding
+// automatically.
+func (p *Pass) IgnoredAt(pos token.Pos, analyzer string) bool {
+	return p.ignores.covers(p.Fset.Position(pos), analyzer)
 }
 
 // Finding is a diagnostic bound to its analyzer and resolved position,
@@ -80,20 +124,22 @@ func (f Finding) String() string {
 }
 
 // Run applies every analyzer whose Match accepts pkg's import path and
-// returns the findings sorted by position. Analyzer errors (not
-// findings) abort the run.
+// returns the findings sorted by position, minus any suppressed by
+// `//lint:ignore` directives. facts may be nil (seed-only lookups).
+// Analyzer errors (not findings) abort the run.
 //
 // Test files are excluded: the analyzers enforce production contracts
 // (durability, shutdown, determinism), and holding test cleanup to them
 // would only produce noise. Standalone loads never include test files;
 // this matters when cmd/go drives alexlint over test-variant packages.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+func Run(pkg *Package, facts *FactSet, analyzers []*Analyzer) ([]Finding, error) {
 	files := make([]*ast.File, 0, len(pkg.Files))
 	for _, f := range pkg.Files {
 		if !strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
 			files = append(files, f)
 		}
 	}
+	ignores := collectIgnores(pkg.Fset, files)
 	var out []Finding
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(pkg.Path) {
@@ -105,13 +151,19 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
-			Report: func(d Diagnostic) {
-				out = append(out, Finding{
-					Analyzer: a.Name,
-					Pos:      pkg.Fset.Position(d.Pos),
-					Message:  d.Message,
-				})
-			},
+			Facts:     facts,
+			ignores:   ignores,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.covers(pos, a.Name) {
+				return
+			}
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Pos:      pos,
+				Message:  d.Message,
+			})
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -131,6 +183,59 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out, nil
+}
+
+// ---- //lint:ignore directives ----
+
+// ignoreIndex maps file -> line -> analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+// covers reports whether a directive at pos's line or the line above
+// names analyzer.
+func (ix ignoreIndex) covers(pos token.Position, analyzer string) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores indexes every `//lint:ignore names reason` comment.
+// The names field is a comma-separated analyzer list; a directive with
+// no trailing reason is ignored (an undocumented exemption is a bug).
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive inert by design
+				}
+				pos := fset.Position(c.Pos())
+				if ix[pos.Filename] == nil {
+					ix[pos.Filename] = map[int][]string{}
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						ix[pos.Filename][pos.Line] = append(ix[pos.Filename][pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return ix
 }
 
 // PathHasAny reports whether import path p is one of the listed packages

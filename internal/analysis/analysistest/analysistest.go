@@ -18,7 +18,11 @@
 // Fixtures are real module packages (go list resolves them by explicit
 // path; testdata is invisible to ./... wildcards), so they may import
 // live packages such as alex/internal/wal and reproduce this repo's
-// actual historical bug shapes against the real types.
+// actual historical bug shapes against the real types. The loader
+// typechecks the fixture's whole module dependency graph from source
+// and computes interprocedural facts over it, so fact-driven analyzers
+// (lockhold, ctxflow, txnorder) see exactly what the production driver
+// sees.
 package analysistest
 
 import (
@@ -31,6 +35,13 @@ import (
 	"alex/internal/analysis"
 )
 
+// Reporter is the slice of testing.T the harness needs. Tests for the
+// harness itself substitute a recorder to assert that a broken fixture
+// (a wrong or missing `want`) actually fails.
+type Reporter interface {
+	Errorf(format string, args ...any)
+}
+
 // Run loads each fixture directory (relative to the test's working
 // directory, conventionally "testdata/src/<name>"), applies the
 // analyzer, and reports any mismatch between expected and actual
@@ -41,43 +52,53 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtureDirs ...string) {
 		dir := dir
 		t.Run(dir, func(t *testing.T) {
 			t.Helper()
-			runDir(t, a, dir)
+			if err := RunDir(t, a, dir); err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }
 
-func runDir(t *testing.T, a *analysis.Analyzer, dir string) {
-	t.Helper()
-	pkgs, err := analysis.Load("", "./"+dir)
+// RunDir runs the analyzer over one fixture directory, reporting
+// expectation mismatches through r. The returned error covers
+// operational failures (fixture fails to load, bad want pattern,
+// analyzer error) — conditions that should abort rather than
+// accumulate.
+func RunDir(r Reporter, a *analysis.Analyzer, dir string) error {
+	res, err := analysis.Load("", "./"+dir)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		return fmt.Errorf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	if len(res.Pkgs) != 1 {
+		return fmt.Errorf("fixture %s: loaded %d packages, want 1", dir, len(res.Pkgs))
 	}
-	pkg := pkgs[0]
+	pkg := res.Pkgs[0]
 
 	// Bypass Match: fixtures live under testdata, not in the scoped
 	// packages; scope is the driver's concern, behavior is tested here.
 	unscoped := *a
 	unscoped.Match = nil
-	findings, err := analysis.Run(pkg, []*analysis.Analyzer{&unscoped})
+	findings, err := analysis.Run(pkg, res.Facts, []*analysis.Analyzer{&unscoped})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		return fmt.Errorf("running %s on %s: %v", a.Name, dir, err)
 	}
 
-	wants := collectWants(t, pkg)
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return err
+	}
 	for _, f := range findings {
 		key := posKey{file: f.Pos.Filename, line: f.Pos.Line}
 		if !wants.take(key, f.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+			r.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
 		}
 	}
 	for key, exps := range wants {
 		for _, e := range exps {
-			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.String())
+			r.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.String())
 		}
 	}
+	return nil
 }
 
 type posKey struct {
@@ -106,8 +127,7 @@ func (w wantMap) take(key posKey, msg string) bool {
 // backquoted or double-quoted strings.
 var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
-func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
-	t.Helper()
+func collectWants(pkg *analysis.Package) (wantMap, error) {
 	wants := wantMap{}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -121,11 +141,11 @@ func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
 				for _, q := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
 					pat, err := unquote(q)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", pos, q, err)
 					}
 					key := posKey{file: pos.Filename, line: pos.Line}
 					wants[key] = append(wants[key], re)
@@ -133,7 +153,7 @@ func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
 			}
 		}
 	}
-	return wants
+	return wants, nil
 }
 
 func unquote(q string) (string, error) {

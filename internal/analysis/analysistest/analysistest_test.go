@@ -1,0 +1,59 @@
+// The harness is itself load-bearing: every analyzer's fixtures prove
+// their invariants through it, so a harness that fails to fail on a
+// wrong expectation would quietly neuter the whole suite. This test
+// feeds it a fixture that is wrong in both directions and requires
+// both mismatches to surface.
+package analysistest_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/syncerr"
+)
+
+type recorder struct {
+	errs []string
+}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+func TestHarnessFailsOnBrokenFixture(t *testing.T) {
+	rec := &recorder{}
+	if err := analysistest.RunDir(rec, syncerr.Analyzer, "testdata/src/broken"); err != nil {
+		t.Fatalf("operational failure, want expectation mismatches: %v", err)
+	}
+	if len(rec.errs) != 2 {
+		t.Fatalf("broken fixture produced %d errors, want 2 (one unexpected, one unmatched):\n%s",
+			len(rec.errs), strings.Join(rec.errs, "\n"))
+	}
+	var unexpected, unmatched bool
+	for _, e := range rec.errs {
+		if strings.Contains(e, "unexpected diagnostic") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no diagnostic matching") {
+			unmatched = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("missing-want line did not produce an 'unexpected diagnostic' error:\n%s", strings.Join(rec.errs, "\n"))
+	}
+	if !unmatched {
+		t.Errorf("wrong-want line did not produce a 'no diagnostic matching' error:\n%s", strings.Join(rec.errs, "\n"))
+	}
+}
+
+func TestHarnessRejectsMissingFixture(t *testing.T) {
+	rec := &recorder{}
+	if err := analysistest.RunDir(rec, syncerr.Analyzer, "testdata/src/nonexistent"); err == nil {
+		t.Fatal("loading a nonexistent fixture directory succeeded, want an operational error")
+	}
+	if len(rec.errs) != 0 {
+		t.Fatalf("operational failure leaked %d expectation errors: %v", len(rec.errs), rec.errs)
+	}
+}

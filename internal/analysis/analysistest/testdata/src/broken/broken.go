@@ -1,0 +1,15 @@
+// Package broken is a deliberately wrong fixture: its expectations
+// disagree with the analyzer in both directions. The harness's own
+// test asserts that running syncerr over it FAILS — a harness that
+// accepts a broken fixture would silently accept broken analyzers.
+package broken
+
+import "os"
+
+func drop(f *os.File) {
+	f.Sync() // deliberately missing its want comment
+}
+
+func fine(f *os.File) error {
+	return f.Sync() // want `discarded error` (wrong: the error is returned, not discarded)
+}

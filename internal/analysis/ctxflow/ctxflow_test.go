@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer,
+		"testdata/src/a", // escaped deadlines: bare Background, no-ctx entry points, dropped ctx
+		"testdata/src/b", // propagated and self-bounded deadlines
+	)
+}

@@ -1,0 +1,60 @@
+// Fixture a: outbound requests that escape the caller's deadline — the
+// unbounded-wait shapes the fleet's availability design forbids.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+var hc = &http.Client{}
+
+// bareBackground manufactures an unbounded context on a request path.
+func bareBackground(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background\(\) outside a context\.With\* wrapper`
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://shard/links", nil)
+	hc.Do(req)
+}
+
+// bareTODO is the same hole spelled differently.
+func bareTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) outside a context\.With\* wrapper`
+}
+
+// noCtxEntryPoints: the net/http surface that cannot carry a context.
+func noCtxEntryPoints() {
+	http.Get("http://shard/links")                             // want `net/http\.Get cannot carry the caller's context`
+	hc.Post("http://shard/feedback", "text/json", nil)         // want `net/http\.Client\.Post cannot carry the caller's context`
+	http.NewRequest(http.MethodGet, "http://shard/links", nil) // want `net/http\.NewRequest cannot carry the caller's context; use http\.NewRequestWithContext`
+}
+
+// fetchLinks performs an outbound request but accepts no context: it
+// bounds itself, which is fine for lifecycle callers — but a caller
+// holding a request context cannot propagate its deadline through it.
+func fetchLinks() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://shard/links", nil)
+	if err != nil {
+		return err
+	}
+	_, err = hc.Do(req)
+	return err
+}
+
+// handler has a deadline to give (r.Context()) and drops it at the
+// fetchLinks call — the interprocedural shape rule three exists for.
+func handler(w http.ResponseWriter, r *http.Request) {
+	fetchLinks() // want `performs outbound requests but accepts no context`
+}
+
+// deepHandler shows the fact propagating: relay is Outbound only
+// because fetchLinks is, one call further down.
+func relay() error {
+	return fetchLinks()
+}
+
+func deepHandler(ctx context.Context) {
+	relay() // want `performs outbound requests but accepts no context`
+}

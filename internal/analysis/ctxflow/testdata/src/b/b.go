@@ -1,0 +1,58 @@
+// Fixture b: compliant deadline flow — request paths derive from the
+// caller's ctx, lifecycle scopes bound themselves with With*, and
+// no-ctx helpers are called only by no-ctx (self-bounding) callers.
+package b
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+var hc = &http.Client{}
+
+// fetchLinksCtx is the Context variant: the caller's deadline rides in.
+func fetchLinksCtx(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://shard/links", nil)
+	if err != nil {
+		return err
+	}
+	_, err = hc.Do(req)
+	return err
+}
+
+// fetchLinks self-bounds; only no-ctx callers may use it.
+func fetchLinks() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return fetchLinksCtx(ctx)
+}
+
+// handler propagates the request's deadline.
+func handler(w http.ResponseWriter, r *http.Request) {
+	fetchLinksCtx(r.Context())
+}
+
+// handlerBounded derives a tighter deadline from the request's.
+func handlerBounded(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	fetchLinksCtx(ctx)
+}
+
+// pollLoop is a lifecycle scope: no caller is waiting, so the bound
+// comes from its own With* wrapper — and calling the no-ctx helper is
+// legal because the loop has no inherited deadline to lose.
+func pollLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		fetchLinksCtx(ctx)
+		cancel()
+		fetchLinks()
+	}
+}

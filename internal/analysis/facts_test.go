@@ -1,0 +1,132 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"alex/internal/analysis"
+)
+
+const demoPath = "alex/internal/analysis/testdata/src/factsdemo"
+
+func loadDemoFacts(t *testing.T) *analysis.FactSet {
+	t.Helper()
+	res, err := analysis.Load("", "./testdata/src/factsdemo")
+	if err != nil {
+		t.Fatalf("loading factsdemo: %v", err)
+	}
+	return res.Facts
+}
+
+func demoFacts(t *testing.T, facts *analysis.FactSet, fn string) analysis.FuncFacts {
+	t.Helper()
+	f, ok := facts.Lookup(demoPath + "." + fn)
+	if !ok {
+		t.Fatalf("no facts recorded for %s", fn)
+	}
+	return f
+}
+
+func TestFactPropagation(t *testing.T) {
+	facts := loadDemoFacts(t)
+
+	direct := demoFacts(t, facts, "writesFile")
+	if !direct.MayBlock || direct.BlockReason != "file I/O" {
+		t.Errorf("writesFile: got %+v, want MayBlock via file I/O", direct)
+	}
+
+	transitive := demoFacts(t, facts, "callsWriter")
+	if !transitive.MayBlock {
+		t.Errorf("callsWriter: MayBlock did not propagate: %+v", transitive)
+	}
+	if !strings.Contains(transitive.BlockVia, "writesFile") {
+		t.Errorf("callsWriter: BlockVia %q does not name the callee", transitive.BlockVia)
+	}
+
+	outbound := demoFacts(t, facts, "callsFetcher")
+	if !outbound.Outbound {
+		t.Errorf("callsFetcher: Outbound did not propagate: %+v", outbound)
+	}
+
+	j := demoFacts(t, facts, "journals")
+	if !j.Journals || !j.MayBlock {
+		t.Errorf("journals: got %+v, want Journals and MayBlock", j)
+	}
+
+	a := demoFacts(t, facts, "callsAcks")
+	if !a.AcksHTTP {
+		t.Errorf("callsAcks: AcksHTTP did not propagate: %+v", a)
+	}
+
+	if f, ok := facts.Lookup(demoPath + ".pure"); ok && (f.MayBlock || f.Outbound || f.Journals || f.AcksHTTP) {
+		t.Errorf("pure: spurious facts %+v", f)
+	}
+}
+
+// TestGoroutineBoundary is the PR-7 lesson as a unit test: work behind
+// a `go` statement is asynchronous, so none of its effects — blocking,
+// journaling — may be credited to the launcher.
+func TestGoroutineBoundary(t *testing.T) {
+	facts := loadDemoFacts(t)
+	if f, ok := facts.Lookup(demoPath + ".launches"); ok {
+		if f.Journals {
+			t.Errorf("launches: goroutine journaling credited to the launcher: %+v", f)
+		}
+		if f.MayBlock {
+			t.Errorf("launches: goroutine blocking credited to the launcher: %+v", f)
+		}
+	}
+}
+
+func TestHasCtxSignatures(t *testing.T) {
+	facts := loadDemoFacts(t)
+	if f := demoFacts(t, facts, "hasCtx"); !f.HasCtx {
+		t.Errorf("hasCtx: context.Context parameter not detected: %+v", f)
+	}
+	if f := demoFacts(t, facts, "hasReq"); !f.HasCtx {
+		t.Errorf("hasReq: *http.Request parameter not detected: %+v", f)
+	}
+	if f, ok := facts.Lookup(demoPath + ".writesFile"); ok && f.HasCtx {
+		t.Errorf("writesFile: spurious HasCtx: %+v", f)
+	}
+	// HasCtx is a signature property, never propagated: callsWriter
+	// calling nothing ctx-shaped must not inherit it.
+	if f, ok := facts.Lookup(demoPath + ".callsWriter"); ok && f.HasCtx {
+		t.Errorf("callsWriter: HasCtx wrongly propagated: %+v", f)
+	}
+}
+
+func TestFactJSONRoundTrip(t *testing.T) {
+	facts := loadDemoFacts(t)
+	data, err := facts.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := analysis.NewFactSet()
+	if err := decoded.DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range facts.Keys() {
+		want, _ := facts.Lookup(key)
+		if !want.MayBlock && !want.Outbound && !want.Journals && !want.AcksHTTP && !want.HasCtx {
+			continue // uninteresting entries need not survive encoding
+		}
+		got, ok := decoded.Lookup(key)
+		if !ok {
+			t.Errorf("round trip dropped %s", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip changed %s: got %+v, want %+v", key, got, want)
+		}
+	}
+	// Empty input decodes to a valid empty table (a dependency with no
+	// interesting functions writes an empty vetx file).
+	empty := analysis.NewFactSet()
+	if err := empty.DecodeJSON(nil); err != nil {
+		t.Fatalf("DecodeJSON(nil): %v", err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("DecodeJSON(nil): %d entries, want 0", empty.Len())
+	}
+}

@@ -38,13 +38,13 @@ import (
 )
 
 // Analyzer is the gotrack checker, scoped to the long-running daemon
-// packages. One-shot binaries under cmd/ and examples/ may let main's
-// exit collect their goroutines; the daemon may not.
+// packages — including the cmd/ daemons themselves, whose mains launch
+// serve loops and signal handlers that must not outlive shutdown.
 var Analyzer = &analysis.Analyzer{
 	Name: "gotrack",
 	Doc:  "flags goroutines not tied to a WaitGroup, done-channel, context, or stop-channel",
 	Match: func(p string) bool {
-		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet", "alex/internal/faultnet")
+		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet", "alex/internal/faultnet", "alex/cmd")
 	},
 	Run: run,
 }
@@ -151,6 +151,9 @@ func bodyTracked(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call 
 	case *ast.FuncLit:
 		body = fun.Body
 	default:
+		if isHTTPServerServe(pass, call) {
+			return true // `go srv.ListenAndServe()`: bounded by srv.Shutdown
+		}
 		if fn := calleeFunc(pass, call); fn != nil {
 			if decl := decls[fn]; decl != nil {
 				body = decl.Body
@@ -177,6 +180,13 @@ func bodyTracked(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call 
 			}
 		case *ast.CallExpr:
 			if isWaitGroupMethod(pass, n, "Done") {
+				tracked = true
+			}
+			// An *http.Server serve loop: its lifetime is owned by the
+			// Server value — Shutdown/Close ends it — so the server,
+			// not a channel, is the tracking handle. The idiomatic
+			// `go srv.ListenAndServe()` in the daemons' mains is tied.
+			if isHTTPServerServe(pass, n) {
 				tracked = true
 			}
 		case *ast.Ident:
@@ -209,6 +219,34 @@ func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
 	return fn
+}
+
+// isHTTPServerServe matches the blocking serve methods of
+// *net/http.Server.
+func isHTTPServerServe(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 func isCloseBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {

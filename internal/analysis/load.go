@@ -1,9 +1,13 @@
-// The package loader behind alexlint: `go list -deps -export` resolves
-// the import graph and compiles export data into the build cache, and
-// the gc importer typechecks each target package's syntax against that
-// export data. Everything runs offline — the module has no external
-// dependencies and the standard library's export data comes from the
-// local toolchain's build cache.
+// The package loader behind alexlint, in two phases. Phase one:
+// `go list -deps -export` resolves the import graph (dependency-first
+// order) and compiles export data into the build cache; every
+// non-standard package in the graph is then parsed and typechecked from
+// source, importing already-checked module packages directly and the
+// standard library from export data. Phase two: ComputeFacts walks all
+// the source packages and propagates interprocedural facts over the
+// repo-wide call graph (facts.go). Everything runs offline — the module
+// has no external dependencies and the standard library's export data
+// comes from the local toolchain's build cache.
 package analysis
 
 import (
@@ -29,6 +33,15 @@ type Package struct {
 	Files []*ast.File // non-test Go files, parsed with comments
 	Types *types.Package
 	Info  *types.Info
+}
+
+// Result is one completed load: the requested target packages, the
+// full non-standard source graph behind them (dependencies first), and
+// the interprocedural facts computed over that graph.
+type Result struct {
+	Pkgs  []*Package // the packages the patterns matched
+	All   []*Package // Pkgs plus their non-stdlib dependencies, deps first
+	Facts *FactSet
 }
 
 // listedPkg is the subset of `go list -json` output the loader reads.
@@ -69,11 +82,14 @@ func goList(dir string, args ...string) ([]listedPkg, error) {
 	return pkgs, nil
 }
 
-// Load resolves patterns with the go tool (relative to dir; "" means the
-// current directory), then parses and typechecks every matched
-// non-standard package. Dependencies are imported from export data, so
-// each target is typechecked exactly once, from its own source.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// Load resolves patterns with the go tool (relative to dir; "" means
+// the current directory), parses and typechecks every non-standard
+// package in their dependency graph from source, and computes facts
+// over the whole graph. Standard-library packages are imported from
+// export data; module packages import each other's source-checked
+// types directly (go list's -deps order guarantees dependencies come
+// first), so cross-package object identity holds within one load.
+func Load(dir string, patterns ...string) (*Result, error) {
 	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
 	if err != nil {
 		return nil, err
@@ -94,34 +110,52 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if wanted[p.ImportPath] && !p.Standard {
+		if !p.Standard {
 			order = append(order, p)
 		}
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	source := map[string]*types.Package{}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(file)
 	})
-	var out []*Package
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := source[path]; ok {
+			return tp, nil
+		}
+		return gc.Import(path)
+	})
+
+	res := &Result{}
 	for _, p := range order {
 		pkg, err := typecheck(fset, imp, p)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
+		source[p.ImportPath] = pkg.Types
+		res.All = append(res.All, pkg)
+		if wanted[p.ImportPath] {
+			res.Pkgs = append(res.Pkgs, pkg)
+		}
 	}
-	return out, nil
+	res.Facts = ComputeFacts(res.All, nil)
+	return res, nil
 }
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // VetConfig is the subset of cmd/go's vet configuration JSON that
 // alexlint's `go vet -vettool` mode consumes. cmd/go hands the tool one
 // such file per package, with export data for every dependency already
-// compiled.
+// compiled and the dependencies' fact files listed in PackageVetx.
 type VetConfig struct {
 	ID          string
 	Compiler    string
@@ -152,10 +186,14 @@ func ReadVetConfig(path string) (*VetConfig, error) {
 	return cfg, nil
 }
 
-// LoadVetPackage parses and typechecks the single package described by a
-// cmd/go vet configuration, importing dependencies from the export data
-// files cmd/go listed in PackageFile.
-func LoadVetPackage(cfg *VetConfig) (*Package, error) {
+// LoadVetPackage parses and typechecks the single package described by
+// a cmd/go vet configuration, importing dependencies from the export
+// data files cmd/go listed in PackageFile, then computes the package's
+// facts on top of the dependency facts deserialized from the PackageVetx
+// files (each written by an earlier alexlint invocation on that
+// dependency — cmd/go sequences the runs dependency-first and caches
+// them against the tool's -V=full hash).
+func LoadVetPackage(cfg *VetConfig) (*Package, *FactSet, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -167,11 +205,26 @@ func LoadVetPackage(cfg *VetConfig) (*Package, error) {
 		}
 		return os.Open(file)
 	})
-	return typecheck(fset, imp, listedPkg{
+	pkg, err := typecheck(fset, imp, listedPkg{
 		Dir:        cfg.Dir,
 		ImportPath: cfg.ImportPath,
 		GoFiles:    cfg.GoFiles,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	imported := NewFactSet()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading facts for %s: %w", path, err)
+		}
+		if err := imported.DecodeJSON(data); err != nil {
+			return nil, nil, fmt.Errorf("decoding facts for %s: %w", path, err)
+		}
+	}
+	facts := ComputeFacts([]*Package{pkg}, imported)
+	return pkg, facts, nil
 }
 
 func typecheck(fset *token.FileSet, imp types.Importer, p listedPkg) (*Package, error) {

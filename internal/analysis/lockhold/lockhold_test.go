@@ -1,0 +1,15 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer,
+		"testdata/src/a", // blocking work (direct and via helpers) under a lock
+		"testdata/src/b", // released locks, polls, launches, directives
+	)
+}

@@ -1,0 +1,99 @@
+// Fixture a: blocking work inside critical sections, including the
+// interprocedural shape that motivated the facts framework — the
+// syscall is two calls away from the Lock and invisible to any
+// single-function check.
+package a
+
+import (
+	"net/http"
+	"os"
+	"sync"
+
+	"alex/internal/wal"
+)
+
+type store struct {
+	mu  sync.Mutex
+	log *wal.Log
+	ch  chan int
+}
+
+// appendUnderLock holds the lock across a journal append: every other
+// producer stalls behind the fsync.
+func (s *store) appendUnderLock(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Append(p) // want `call to alex/internal/wal\.\(\*Log\)\.Append may block`
+}
+
+// fileUnderLock: direct file I/O in the region.
+func (s *store) fileUnderLock() {
+	s.mu.Lock()
+	os.WriteFile("state", nil, 0o644) // want `may block \(file I/O\)`
+	s.mu.Unlock()
+}
+
+// save is the helper hiding the I/O; holdAcrossHelper is the caller
+// that cannot see it without interprocedural facts.
+func (s *store) save() error {
+	return os.WriteFile("state", nil, 0o644)
+}
+
+func (s *store) holdAcrossHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.save() // want `may block \(file I/O via`
+}
+
+// fetch reaches the network three frames down.
+func fetch(hc *http.Client, req *http.Request) {
+	hc.Do(req)
+}
+
+func (s *store) holdAcrossHTTP(hc *http.Client, req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fetch(hc, req) // want `may block \(HTTP via`
+}
+
+// Channel operations are blocking unless a select-with-default makes
+// them polls.
+func (s *store) sendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while holding s\.mu`
+}
+
+func (s *store) recvUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while holding s\.mu`
+}
+
+func (s *store) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding s\.mu`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *store) rangeUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `ranging over a channel while holding s\.mu`
+		_ = v
+	}
+}
+
+// RLock regions are checked the same way: readers pile up too.
+type cache struct {
+	mu sync.RWMutex
+}
+
+func (c *cache) readUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	os.ReadFile("state") // want `may block \(file I/O\)`
+}

@@ -1,0 +1,86 @@
+// Fixture b: compliant critical sections — the lock is released before
+// the blocking work, polls are select-with-default, launches don't
+// block, and deliberate exceptions carry the directive.
+package b
+
+import (
+	"os"
+	"sync"
+
+	"alex/internal/wal"
+)
+
+type store struct {
+	mu  sync.Mutex
+	log *wal.Log
+	ch  chan int
+
+	// journalMu's regions deliberately hold the lock across the fsync:
+	// the declaration-level directive documents the design once for
+	// every critical section of this lock.
+	//lint:ignore lockhold group-commit design: producers serialize on the fsync deliberately
+	journalMu sync.Mutex
+}
+
+// unlockBeforeIO releases the lock, then does the slow work.
+func (s *store) unlockBeforeIO(p []byte) {
+	s.mu.Lock()
+	dirty := cap(s.ch) > 0
+	s.mu.Unlock()
+	if dirty {
+		s.log.Append(p)
+	}
+}
+
+// pollUnderLock: a select with default never parks the holder.
+func (s *store) pollUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// launchUnderLock: starting a goroutine is not blocking; the goroutine
+// body runs without the lock and is scanned on its own.
+func (s *store) launchUnderLock(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.log.Append(p)
+	}()
+}
+
+// exemptedSite carries the directive on the Lock statement itself.
+func (s *store) exemptedSite(p []byte) {
+	//lint:ignore lockhold startup-only path, no concurrent producers yet
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Append(p)
+}
+
+// exemptedDecl inherits journalMu's declaration-level directive.
+func (s *store) exemptedDecl(p []byte) {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	s.log.Append(p)
+}
+
+// pureUnderLock: plain computation in the region is fine.
+func (s *store) pureUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cap(s.ch) * 2
+}
+
+// ioAfterExplicitUnlock: statements after the in-block unlock are out
+// of the region.
+func (s *store) ioAfterExplicitUnlock() {
+	s.mu.Lock()
+	n := cap(s.ch)
+	s.mu.Unlock()
+	if n > 0 {
+		os.WriteFile("state", nil, 0o644)
+	}
+}

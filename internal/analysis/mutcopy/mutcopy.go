@@ -1,0 +1,199 @@
+// Package mutcopy forbids by-value copies of structs that embed
+// synchronization state: sync.Mutex, sync.RWMutex, sync.WaitGroup,
+// sync.Once, sync.Cond, and the sync/atomic value types
+// (atomic.Pointer[T], atomic.Value, atomic.Int64, ...).
+//
+// Copying a mutex forks the lock: two goroutines can each hold "the"
+// lock on their own copy. Copying an atomic.Pointer forks the
+// publication cell — the snapshot-aliasing shape snapmut cannot see,
+// because snapmut checks what is reachable FROM a published snapshot,
+// not how the publishing cell itself travels. A store copied by value
+// keeps publishing into its private cell while readers load from the
+// original, and the fleet serves two divergent histories with no race
+// report.
+//
+// A finding is any of:
+//
+//   - a function parameter, receiver or result of a lock-bearing type
+//     passed by value (take a pointer);
+//   - an assignment or variable initialization whose right-hand side
+//     copies an existing lock-bearing value (dereference, field read,
+//     index). Composite literals are fine: a fresh value's zero-valued
+//     mutex has no history to fork;
+//   - a range clause whose value variable copies lock-bearing
+//     elements.
+//
+// "Lock-bearing" is recursive: a struct containing (at any depth,
+// through named types, embedded fields and arrays) one of the types
+// above. The check is syntactic and needs no facts; it rides alexlint
+// rather than vet's copylocks so the invariant — including the atomic
+// publication-cell case and this module's own wrapper types — is
+// enforced by the same gate as the rest, with the same fixtures.
+package mutcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alex/internal/analysis"
+)
+
+// Analyzer is the mutcopy checker. It applies module-wide.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutcopy",
+	Doc:  "flags by-value copies of structs carrying mutexes or atomics",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// `_ = x` evaluates and discards; nothing keeps the
+					// forked copy, so nothing can diverge.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if len(n.Names) == len(n.Values) && n.Names[i].Name == "_" {
+						continue
+					}
+					checkCopyExpr(pass, v)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprType(pass, n.Value); t != nil {
+						if path, bad := lockBearing(t); bad {
+							pass.Reportf(n.Value.Pos(), "range value copies %s, which carries %s; iterate by index or over pointers", t.String(), path)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFieldList(pass *analysis.Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if path, bad := lockBearing(tv.Type); bad {
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value, copying %s; use a pointer", kind, tv.Type.String(), path)
+		}
+	}
+}
+
+// checkCopyExpr flags rhs when evaluating it copies an existing
+// lock-bearing value: a variable read, field selection, dereference or
+// index. Fresh values (composite literals, conversions of literals,
+// function calls — the callee's result declaration is checked at its
+// own site) are allowed.
+func checkCopyExpr(pass *analysis.Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rhs]
+	if !ok {
+		return
+	}
+	if path, bad := lockBearing(tv.Type); bad {
+		pass.Reportf(rhs.Pos(), "assignment copies %s, which carries %s; the copy forks the lock/publication state — use a pointer", tv.Type.String(), path)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exprType resolves e's type, falling back to the defined object for
+// identifiers the Types map does not cover (a range clause's `:=`
+// value variable is a definition, not an expression use).
+func exprType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// lockBearing reports whether t contains synchronization state by
+// value, and a human-readable path to the first offending component.
+func lockBearing(t types.Type) (string, bool) {
+	return findLock(t, map[types.Type]bool{})
+}
+
+func findLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name(), true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Value", "Bool", "Int32", "Int64", "Uint32", "Uint64",
+					"Uintptr", "Pointer":
+					return "sync/atomic." + obj.Name(), true
+				}
+			}
+		}
+		return findLock(named.Underlying(), seen)
+	}
+
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if path, bad := findLock(f.Type(), seen); bad {
+				return f.Name() + "." + path, true
+			}
+		}
+	case *types.Array:
+		if path, bad := findLock(u.Elem(), seen); bad {
+			return "[...]" + path, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,15 @@
+package mutcopy_test
+
+import (
+	"testing"
+
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/mutcopy"
+)
+
+func TestMutcopy(t *testing.T) {
+	analysistest.Run(t, mutcopy.Analyzer,
+		"testdata/src/a", // by-value copies forking mutexes and publication cells
+		"testdata/src/b", // pointers, fresh values, plain data
+	)
+}

@@ -1,0 +1,59 @@
+// Fixture a: by-value copies that fork synchronization state. The
+// atomic.Pointer shapes replay the fleet's publication-cell hazard: a
+// store copied by value keeps publishing into its private cell while
+// readers load from the original.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// publisher embeds the publication cell two levels down.
+type cell struct {
+	snap atomic.Pointer[int]
+}
+
+type publisher struct {
+	c cell
+}
+
+func byValueParam(g guarded) int { // want `parameter passes .*a\.guarded by value, copying mu\.sync\.Mutex`
+	return g.n
+}
+
+func (g guarded) byValueReceiver() {} // want `receiver passes .*a\.guarded by value`
+
+func byValueResult() (g guarded, _ error) { // want `result passes .*a\.guarded by value`
+	return
+}
+
+func arrayParam(arr [2]guarded) {} // want `parameter passes \[2\].*a\.guarded by value`
+
+var lit = func(p publisher) { // want `parameter passes .*a\.publisher by value, copying c\.snap\.sync/atomic\.Pointer`
+}
+
+func copyAssignments(gp *guarded, arrp *[2]guarded, pubp *publisher) int {
+	g := *gp             // want `assignment copies .*a\.guarded`
+	h := arrp[0]         // want `assignment copies .*a\.guarded`
+	p2 := *pubp          // want `assignment copies .*a\.publisher`
+	p2.c.snap.Store(nil) // publishes into the fork, not the original
+	return g.n + h.n
+}
+
+var cells [4]cell
+
+var spare = cells[0] // want `assignment copies .*a\.cell`
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies .*a\.guarded`
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+// Fixture b: compliant handling of lock-bearing values — pointers
+// travel, fresh zero values are born in place, and plain data moves
+// freely.
+package b
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type publisher struct {
+	snap atomic.Pointer[int]
+}
+
+type plain struct {
+	n int
+}
+
+// Pointers are the way lock-bearing values travel.
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (p *publisher) load() *int {
+	return p.snap.Load()
+}
+
+// Composite literals are fresh: a zero-valued mutex has no history to
+// fork, so initialization is not a copy.
+func fresh() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+var global = guarded{}
+
+// Call results are checked at the callee's result declaration, not at
+// every call site.
+func use() {
+	g := fresh()
+	_ = g
+}
+
+// Plain structs copy freely.
+func plainCopies(ps []plain, p plain) int {
+	q := p
+	total := q.n
+	for _, v := range ps {
+		total += v.n
+	}
+	return total
+}
+
+// Ranging over pointers to lock-bearing values is fine.
+func rangePointers(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

@@ -28,15 +28,17 @@ import (
 )
 
 // Analyzer is the syncerr checker, scoped to the write-ahead log, the
-// serving layer, the fleet router and the chaos proxy — the packages
-// whose errors back durability promises (the router relays acks whose
-// meaning is "the owning shard fsynced"; faultnet sits on that path in
-// chaos drills, where a dropped error would fake a fault).
+// serving layer, the fleet router, the chaos proxy and the cmd/ tools —
+// the packages whose errors back durability promises (the router relays
+// acks whose meaning is "the owning shard fsynced"; faultnet sits on
+// that path in chaos drills, where a dropped error would fake a fault;
+// the tools write graph and link files whose silent truncation corrupts
+// every downstream run).
 var Analyzer = &analysis.Analyzer{
 	Name: "syncerr",
 	Doc:  "flags discarded Sync/Flush/Close errors on durability-relevant files",
 	Match: func(p string) bool {
-		return analysis.PathHasAny(p, "alex/internal/wal", "alex/internal/server", "alex/internal/fleet", "alex/internal/faultnet")
+		return analysis.PathHasAny(p, "alex/internal/wal", "alex/internal/server", "alex/internal/fleet", "alex/internal/faultnet", "alex/cmd")
 	},
 	Run: run,
 }

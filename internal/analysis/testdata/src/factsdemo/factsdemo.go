@@ -1,0 +1,63 @@
+// Package factsdemo exercises the fact computation end to end:
+// propagation through helpers, the goroutine boundary, signature
+// detection and the journal contract.
+package factsdemo
+
+import (
+	"context"
+	"net/http"
+	"os"
+
+	"alex/internal/wal"
+)
+
+// writesFile blocks on file I/O directly (seeded stdlib callee).
+func writesFile() error {
+	return os.WriteFile("state", nil, 0o644)
+}
+
+// callsWriter blocks only transitively.
+func callsWriter() error {
+	return writesFile()
+}
+
+// fetches performs an outbound HTTP request, two frames down.
+func fetches(hc *http.Client, req *http.Request) error {
+	_, err := hc.Do(req)
+	return err
+}
+
+func callsFetcher(hc *http.Client, req *http.Request) error {
+	return fetches(hc, req)
+}
+
+// launches starts the blocking work asynchronously: the launch itself
+// does not block, journal or fetch, so no fact may credit it.
+func launches(l *wal.Log, p []byte) {
+	go func() {
+		l.Append(p)
+	}()
+}
+
+// journals appends to the WAL: Journals and MayBlock.
+func journals(l *wal.Log, p []byte) error {
+	_, err := l.Append(p)
+	return err
+}
+
+// hasCtx carries a context; hasReq carries one via *http.Request.
+func hasCtx(ctx context.Context) {}
+
+func hasReq(w http.ResponseWriter, r *http.Request) {}
+
+// acks writes an HTTP status.
+func acks(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func callsAcks(w http.ResponseWriter) {
+	acks(w)
+}
+
+// pure does none of the above.
+func pure(a, b int) int { return a + b }

@@ -1,0 +1,68 @@
+// Fixture b: compliant prepare paths — the 202 is dominated by a
+// durable prepare, either a direct journal append, a scatter-gather
+// whose WaitGroup.Wait collects every shard's prepare, or a remote
+// prepare RPC whose contract is journal-before-ack.
+package b
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"alex/internal/cluster"
+	"alex/internal/server"
+	"alex/internal/wal"
+)
+
+type router struct {
+	log    *wal.Log
+	client *server.Client
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+// directPrepare journals synchronously before the ack.
+func (r *router) directPrepare(w http.ResponseWriter, p []byte) {
+	if _, err := r.log.Append(p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// gatheredFanout is PR 7's fix: the Wait is the point where every
+// asynchronous prepare has provably completed, and it dominates the
+// ack.
+func (r *router) gatheredFanout(w http.ResponseWriter, slices [][]byte) {
+	var wg sync.WaitGroup
+	for _, p := range slices {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.log.Append(p)
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// remotePrepare relies on the RPC contract: a non-error TxnPrepare
+// return means the remote shard journaled and fsynced before acking.
+func (r *router) remotePrepare(w http.ResponseWriter, ctx context.Context, p cluster.TxnPrepare) {
+	if _, err := r.client.TxnPrepare(ctx, p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// nonAckStatuses: only the 202 durability promise is txnorder's
+// business; errors and throttles need no barrier.
+func (r *router) nonAckStatuses(w http.ResponseWriter) {
+	writeJSON(w, http.StatusTooManyRequests, nil)
+	writeJSON(w, http.StatusServiceUnavailable, nil)
+}

@@ -1,0 +1,105 @@
+package txnorder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alex/internal/analysis"
+	"alex/internal/analysis/analysistest"
+	"alex/internal/analysis/txnorder"
+)
+
+func TestTxnorder(t *testing.T) {
+	analysistest.Run(t, txnorder.Analyzer,
+		"testdata/src/a", // acks racing their asynchronous prepares (the PR-7 shape)
+		"testdata/src/b", // prepares that dominate the ack
+	)
+}
+
+// TestCatchesPrepareAckMutation is the analyzer's reason to exist,
+// demonstrated on the production source: take the real internal/server
+// package, move the prepare path's 202 ahead of the journaling
+// prepareTxn call, and the analyzer must flag exactly that regression —
+// while staying silent on the pristine copy.
+func TestCatchesPrepareAckMutation(t *testing.T) {
+	pristine := copyServerPackage(t, nil)
+	if findings := runTxnorder(t, pristine); len(findings) != 0 {
+		t.Fatalf("pristine internal/server copy has %d txnorder findings, want 0: %v", len(findings), findings)
+	}
+
+	const prepareCall = "st, code, err := s.prepareTxn(req, item)"
+	const earlyAck = "writeJSON(w, http.StatusAccepted, cluster.TxnStatusReply{ID: req.ID, Status: cluster.TxnPrepared})\n\t" + prepareCall
+	mutated := copyServerPackage(t, func(name, src string) string {
+		if name != "txn.go" {
+			return src
+		}
+		if !strings.Contains(src, prepareCall) {
+			t.Fatalf("txn.go no longer contains %q; update the mutation", prepareCall)
+		}
+		return strings.Replace(src, prepareCall, earlyAck, 1)
+	})
+	findings := runTxnorder(t, mutated)
+	if len(findings) != 1 {
+		t.Fatalf("mutated internal/server copy has %d txnorder findings, want exactly the early ack: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if filepath.Base(f.Pos.Filename) != "txn.go" || !strings.Contains(f.Message, "202 Accepted on the prepare path") {
+		t.Fatalf("unexpected finding for the early-ack mutation: %s: %s", f.Pos, f.Message)
+	}
+}
+
+// copyServerPackage clones internal/server's non-test sources into a
+// fresh package directory under testdata (inside the module, so the
+// loader resolves its alex/ imports), applying mutate to each file.
+func copyServerPackage(t *testing.T, mutate func(name, src string) string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", "servercopy-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	const serverDir = "../../server"
+	entries, err := os.ReadDir(serverDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(serverDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		if mutate != nil {
+			src = mutate(name, src)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runTxnorder(t *testing.T, dir string) []analysis.Finding {
+	t.Helper()
+	res, err := analysis.Load("", "./"+dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(res.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(res.Pkgs), dir)
+	}
+	unscoped := *txnorder.Analyzer
+	unscoped.Match = nil
+	findings, err := analysis.Run(res.Pkgs[0], res.Facts, []*analysis.Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("running txnorder on %s: %v", dir, err)
+	}
+	return findings
+}

@@ -274,17 +274,17 @@ func (r *Router) pollAll() {
 			sh.routable.Store(false)
 			continue
 		}
-		r.probeShard(sh)
+		r.probeShard(r.baseCtx, sh)
 	}
 }
 
-// probeShard issues one /healthz probe and applies the verdict. It is
-// both the polling loop's body and the verification step for pushed
-// "up" transitions. The probe context derives from baseCtx, so Close
+// probeShard issues one /healthz probe within ctx and applies the
+// verdict. It is both the polling loop's body and the verification
+// step for pushed "up" transitions; both pass baseCtx, so Close
 // aborts in-flight probes instead of waiting out their timeout.
-func (r *Router) probeShard(sh *shard) {
+func (r *Router) probeShard(ctx context.Context, sh *shard) {
 	r.metrics.healthPolls.Inc()
-	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.HealthProbeTimeout)
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.HealthProbeTimeout)
 	h, err := sh.client.HealthzContext(ctx)
 	cancel()
 	ok := err == nil && h.Status == "ok"
@@ -335,7 +335,9 @@ func (r *Router) handleHealthPush(w http.ResponseWriter, req *http.Request) {
 		go func() {
 			defer r.wg.Done()
 			if sh.breaker.Allow() {
-				r.probeShard(sh)
+				// baseCtx, not the push request's ctx: the probe
+				// deliberately outlives the 204 this handler returns.
+				r.probeShard(r.baseCtx, sh)
 			}
 		}()
 	default:
@@ -849,7 +851,9 @@ func (r *Router) feedbackTxn(w http.ResponseWriter, req *http.Request, owners []
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		r.commitAll(id, owners)
+		// baseCtx: the commit marks must keep flowing after this
+		// handler's 202 — only Close abandons them.
+		r.commitAll(r.baseCtx, id, owners)
 	}()
 	r.metrics.feedbackTxns.Inc()
 	r.metrics.feedback.Inc()
@@ -860,11 +864,11 @@ func (r *Router) feedbackTxn(w http.ResponseWriter, req *http.Request, owners []
 // on retryable failures. Giving up is safe: the prepares are durable
 // everywhere, so an owner that never hears its commit learns the
 // outcome from its peers after the grace period.
-func (r *Router) commitAll(id string, owners []int) {
+func (r *Router) commitAll(ctx context.Context, id string, owners []int) {
 	for _, owner := range owners {
 		for attempt := 0; ; attempt++ {
-			ctx, cancel := context.WithTimeout(r.baseCtx, prepareTimeout)
-			status, err := r.shards[owner].client.TxnCommit(ctx, id)
+			tryCtx, cancel := context.WithTimeout(ctx, prepareTimeout)
+			status, err := r.shards[owner].client.TxnCommit(tryCtx, id)
 			cancel()
 			if err == nil || (status != 0 && status != http.StatusTooManyRequests && status < 500) {
 				break
@@ -874,7 +878,7 @@ func (r *Router) commitAll(id string, owners []int) {
 			}
 			r.metrics.txnCommitRetry.Inc()
 			select {
-			case <-r.baseCtx.Done():
+			case <-ctx.Done():
 				return
 			case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
 			}
@@ -904,7 +908,7 @@ func (r *Router) handleLinks(w http.ResponseWriter, req *http.Request) {
 		return ei > ej
 	})
 	for _, sh := range avail {
-		ls, err := sh.client.Links()
+		ls, err := sh.client.LinksContext(req.Context())
 		if err != nil {
 			r.markDown(sh)
 			continue

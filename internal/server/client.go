@@ -132,6 +132,30 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(d)) + 1)
 }
 
+// callBudget bounds one no-ctx convenience call: worst case, every
+// attempt runs to the transport timeout and waits out the maximum
+// backoff. The Context variants are the real API — this budget only
+// keeps the bare wrappers from waiting forever when every attempt
+// stalls (a stuck TCP peer, a transport with no timeout of its own).
+func (c *Client) callBudget() time.Duration {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	per := c.hc.Timeout
+	if per <= 0 {
+		per = 30 * time.Second
+	}
+	backoff := c.retry.BackoffMax
+	if backoff < c.retry.BackoffBase {
+		backoff = c.retry.BackoffBase
+	}
+	if backoff <= 0 {
+		backoff = DefaultRetryPolicy().BackoffMax
+	}
+	return time.Duration(attempts) * (per + backoff)
+}
+
 // do issues one request with retries. It returns the final attempt's
 // status, headers and body; err is non-nil only when no response was
 // obtained at all (transport failure or context expiry).
@@ -234,9 +258,13 @@ func (c *Client) getJSON(ctx context.Context, path string, resp any) error {
 	return json.Unmarshal(data, resp)
 }
 
-// Query evaluates a federated SPARQL query on the server.
+// Query evaluates a federated SPARQL query on the server, bounded by
+// the client's retry budget. Callers with a deadline of their own use
+// QueryContext.
 func (c *Client) Query(query string) (*QueryResponse, error) {
-	return c.QueryContext(context.Background(), query)
+	ctx, cancel := context.WithTimeout(context.Background(), c.callBudget())
+	defer cancel()
+	return c.QueryContext(ctx, query)
 }
 
 // QueryContext is Query bounded by ctx (including retry backoff).
@@ -253,7 +281,9 @@ func (c *Client) QueryContext(ctx context.Context, query string) (*QueryResponse
 // policy's retries. Delivery is at-least-once: a retry after a lost
 // response may apply the verdict twice (see the package comment).
 func (c *Client) Feedback(rowLinks []LinkJSON, approve bool) error {
-	return c.FeedbackContext(context.Background(), rowLinks, approve)
+	ctx, cancel := context.WithTimeout(context.Background(), c.callBudget())
+	defer cancel()
+	return c.FeedbackContext(ctx, rowLinks, approve)
 }
 
 // FeedbackContext is Feedback bounded by ctx (including retry backoff).
@@ -273,18 +303,30 @@ func (c *Client) FeedbackResult(ctx context.Context, rowLinks []LinkJSON, approv
 	return c.postJSON(ctx, "/feedback", FeedbackRequest{Approve: approve, Links: rowLinks}, nil)
 }
 
-// Links fetches the published candidate link set.
+// Links fetches the published candidate link set, bounded by the
+// client's retry budget.
 func (c *Client) Links() (*LinksResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.callBudget())
+	defer cancel()
+	return c.LinksContext(ctx)
+}
+
+// LinksContext is Links bounded by ctx. The fleet router's /links
+// proxy uses it so an abandoned request stops waiting on the shard.
+func (c *Client) LinksContext(ctx context.Context) (*LinksResponse, error) {
 	var out LinksResponse
-	if err := c.getJSON(context.Background(), "/links", &out); err != nil {
+	if err := c.getJSON(ctx, "/links", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Healthz fetches the health report.
+// Healthz fetches the health report, bounded by the client's retry
+// budget.
 func (c *Client) Healthz() (*HealthResponse, error) {
-	return c.HealthzContext(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), c.callBudget())
+	defer cancel()
+	return c.HealthzContext(ctx)
 }
 
 // HealthzContext is Healthz bounded by ctx. The fleet router's health
@@ -352,9 +394,17 @@ func (c *Client) TxnStatus(ctx context.Context, id string) (*cluster.TxnStatusRe
 // Addr returns the client's normalized base URL.
 func (c *Client) Addr() string { return c.base }
 
-// MetricsText fetches the raw Prometheus exposition.
+// MetricsText fetches the raw Prometheus exposition, bounded by the
+// client's retry budget.
 func (c *Client) MetricsText() (string, error) {
-	status, _, data, err := c.do(context.Background(), http.MethodGet, "/metrics", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), c.callBudget())
+	defer cancel()
+	return c.MetricsTextContext(ctx)
+}
+
+// MetricsTextContext is MetricsText bounded by ctx.
+func (c *Client) MetricsTextContext(ctx context.Context) (string, error) {
+	status, _, data, err := c.do(ctx, http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return "", err
 	}

@@ -219,8 +219,14 @@ type Server struct {
 	// appends WITH the queue-capacity check, so a journaled record
 	// always has a reserved queue slot (no acked-but-dropped items) —
 	// and competing fsyncs batch behind it.
-	log      *wal.Log
-	ckpt     Checkpointer
+	log  *wal.Log
+	ckpt Checkpointer
+	// The fsync-under-lock IS the design: producers must not observe a
+	// reserved slot without a durable record, and batching competing
+	// fsyncs behind one lock holder is the journal's group-commit. The
+	// queue send under logMu cannot block — the capacity check above it
+	// holds the reservation.
+	//lint:ignore lockhold journal append + queue send under logMu is the durability design (see field comment)
 	logMu    sync.Mutex
 	recovery RecoveryStats
 

@@ -41,6 +41,8 @@ SINGLE="127.0.0.1:$((BASE + 8))"
 FLEET="$S0,$S1,$S2"     # shard-to-shard replication runs direct
 PROXIED="$P0,$P1,$P2"   # the router only sees the chaos proxies
 DATA="$(mktemp -d)"
+BIN="$DATA/bin"
+mkdir -p "$BIN"
 declare -a PIDS=()
 
 CLEANED=0
@@ -73,7 +75,7 @@ router_routable() { # router_routable <n>: healthz reports n routable shards
 }
 
 start_shard() { # start_shard <id> <addr>
-  bin/alexd -profile "$PROFILE" -scale "$SCALE" -addr "$2" \
+  "$BIN/alexd" -profile "$PROFILE" -scale "$SCALE" -addr "$2" \
     -shard-id "$1" -fleet "$FLEET" -replicate-every 200ms \
     -routers "$ROUTER" -txn-resolve-after 2s \
     -flush 100ms -data "$DATA/shard-$1" \
@@ -83,7 +85,7 @@ start_shard() { # start_shard <id> <addr>
 }
 
 start_proxy() { # start_proxy <id> <listen> <target>
-  bin/faultnetd -listen "$2" -target "$3" -seed $((SEED + $1)) \
+  "$BIN/faultnetd" -listen "$2" -target "$3" -seed $((SEED + $1)) \
     >"$DATA/proxy-$1.log" 2>&1 &
   PIDS+=($!)
 }
@@ -93,10 +95,10 @@ set_faults() { # set_faults <proxy-addr> <json>
 }
 
 echo "== building binaries"
-go build -o bin/alexd ./cmd/alexd
-go build -o bin/alexrouter ./cmd/alexrouter
-go build -o bin/faultnetd ./cmd/faultnetd
-go build -o bin/rowcanon ./cmd/rowcanon
+go build -o "$BIN/alexd" ./cmd/alexd
+go build -o "$BIN/alexrouter" ./cmd/alexrouter
+go build -o "$BIN/faultnetd" ./cmd/faultnetd
+go build -o "$BIN/rowcanon" ./cmd/rowcanon
 
 echo "== starting 3 shards + 3 chaos proxies + router (base port $BASE, data in $DATA)"
 start_shard 0 "$S0"
@@ -105,7 +107,7 @@ start_shard 2 "$S2"
 start_proxy 0 "$P0" "$S0"
 start_proxy 1 "$P1" "$S1"
 start_proxy 2 "$P2" "$S2"
-bin/alexrouter -addr "$ROUTER" -shards "$PROXIED" -health-interval 200ms \
+"$BIN/alexrouter" -addr "$ROUTER" -shards "$PROXIED" -health-interval 200ms \
   -breaker-failures 1 -breaker-cooldown 500ms -breaker-successes 1 \
   >"$DATA/router.log" 2>&1 &
 PIDS+=($!)
@@ -230,7 +232,7 @@ for p in "$P0" "$P1" "$P2"; do
 done
 
 echo "== answer identity: single-node alexd with the same verdicts"
-bin/alexd -profile "$PROFILE" -scale "$SCALE" -addr "$SINGLE" -flush 100ms \
+"$BIN/alexd" -profile "$PROFILE" -scale "$SCALE" -addr "$SINGLE" -flush 100ms \
   >"$DATA/single.log" 2>&1 &
 PIDS+=($!)
 single_healthy() { curl -fsS "http://$SINGLE/healthz" | grep -q '"status":"ok"'; }
@@ -242,7 +244,7 @@ wait_until 60 "single node to apply the verdicts" links_clean "http://$SINGLE/li
 query_canon() { # query_canon <addr> <entity>
   curl -fsS -X POST "http://$1/query" -H 'Content-Type: application/json' \
     -d "{\"query\":\"SELECT ?n WHERE { <$2> <http://ds2.example.org/prop/name> ?n . }\"}" |
-    bin/rowcanon
+    "$BIN/rowcanon"
 }
 for e in "${PROBES[@]}"; do
   query_canon "$ROUTER" "$e" >"$DATA/canon-router.txt"

@@ -26,6 +26,8 @@ S2="127.0.0.1:$((BASE + 3))"
 ROUTER="127.0.0.1:$((BASE + 4))"
 FLEET="$S0,$S1,$S2"
 DATA="$(mktemp -d)"
+BIN="$DATA/bin"
+mkdir -p "$BIN"
 declare -a PIDS=()
 
 # Cleanup runs exactly once, on normal exit OR on INT/TERM — a ^C'd
@@ -61,7 +63,7 @@ router_routable() { # router_routable <n>: healthz reports n routable shards
 }
 
 start_shard() { # start_shard <id> <addr>
-  bin/alexd -profile "$PROFILE" -scale "$SCALE" -addr "$2" \
+  "$BIN/alexd" -profile "$PROFILE" -scale "$SCALE" -addr "$2" \
     -shard-id "$1" -fleet "$FLEET" -replicate-every 200ms \
     -flush 100ms -data "$DATA/shard-$1" \
     >"$DATA/shard-$1.log" 2>&1 &
@@ -70,15 +72,15 @@ start_shard() { # start_shard <id> <addr>
 }
 
 echo "== building binaries"
-go build -o bin/alexd ./cmd/alexd
-go build -o bin/alexrouter ./cmd/alexrouter
-go build -o bin/alexload ./cmd/alexload
+go build -o "$BIN/alexd" ./cmd/alexd
+go build -o "$BIN/alexrouter" ./cmd/alexrouter
+go build -o "$BIN/alexload" ./cmd/alexload
 
 echo "== starting 3 shards + router (base port $BASE, data in $DATA)"
 start_shard 0 "$S0"
 start_shard 1 "$S1"
 start_shard 2 "$S2"
-bin/alexrouter -addr "$ROUTER" -shards "$FLEET" -health-interval 200ms \
+"$BIN/alexrouter" -addr "$ROUTER" -shards "$FLEET" -health-interval 200ms \
   -breaker-failures 1 -breaker-cooldown 500ms -breaker-successes 1 \
   >"$DATA/router.log" 2>&1 &
 PIDS+=($!)
@@ -99,7 +101,7 @@ query_rows() {
 }
 
 echo "== load through the router (queries + feedback)"
-bin/alexload -server "http://$ROUTER" -duration 3s -concurrency 4 -seed 7
+"$BIN/alexload" -server "http://$ROUTER" -duration 3s -concurrency 4 -seed 7
 sleep 1 # let the final episodes flush + replicate before baselining
 BASELINE=$(query_rows)
 [ -n "$BASELINE" ] || fail "baseline query returned no rows payload"
