@@ -54,11 +54,13 @@ bench-space:
 		-cpu=1,2,4,8 ./internal/feature | \
 		$(GO) run ./cmd/benchjson -out BENCH_space.json
 
-# bench-query runs the federated query read-path benchmark: the legacy
-# serial evaluator vs the fast path with cold and pre-warmed plan
-# caches, across -cpu worker counts. Results land in BENCH_query.json.
+# bench-query runs the federated query read-path benchmarks: the
+# legacy serial evaluator vs the fast path with cold and pre-warmed
+# plan caches, plus static vs adaptive execution on the skewed-hub
+# profile, across -cpu worker counts. Results land in BENCH_query.json
+# (with delta_vs_prev against the previous run's file).
 bench-query:
-	$(GO) test -run '^$$' -bench '^BenchmarkFederatedQuery$$' -benchmem \
+	$(GO) test -run '^$$' -bench '^(BenchmarkFederatedQuery|BenchmarkAdaptiveQuery)$$' -benchmem \
 		-cpu=1,2,4,8 ./internal/federation | \
 		$(GO) run ./cmd/benchjson -out BENCH_query.json
 

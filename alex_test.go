@@ -120,7 +120,9 @@ func TestQueryHelpers(t *testing.T) {
 }
 
 func TestProfilesExposed(t *testing.T) {
-	if len(alex.Profiles()) != 11 {
+	// 11 paper dataset pairs plus the skewed-hub adaptive-execution
+	// stress profile.
+	if len(alex.Profiles()) != 12 {
 		t.Fatalf("profiles = %d", len(alex.Profiles()))
 	}
 }

@@ -58,6 +58,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-episode series as CSV files into this directory")
 	spaceWorkers := flag.Int("space-workers", 0, "goroutines per feature-space build (0 = GOMAXPROCS)")
 	queryWorkers := flag.Int("query-workers", 0, "per-query federation parallelism (0 = GOMAXPROCS)")
+	adaptive := flag.Bool("adaptive", false, "adaptive query execution: re-rank remaining join patterns from observed cardinalities (shorthand for -replan-every 1)")
+	replanEvery := flag.Int("replan-every", 0, "re-rank remaining patterns every N executed stages (0 = static plans)")
 	blocking := flag.Bool("block", false, "enable candidate blocking during space construction")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -84,6 +86,10 @@ func main() {
 		c.SpaceWorkers = *spaceWorkers
 		c.SpaceBlocking = *blocking
 		c.QueryWorkers = *queryWorkers
+		c.QueryReplanEvery = *replanEvery
+		if c.QueryReplanEvery == 0 && *adaptive {
+			c.QueryReplanEvery = 1
+		}
 	}}
 	for _, id := range ids {
 		start := time.Now()

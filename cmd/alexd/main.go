@@ -79,6 +79,8 @@ func main() {
 	breakerSuccesses := flag.Int("breaker-successes", 2, "half-open successes required to close the breaker")
 	queryWorkers := flag.Int("query-workers", 0, "per-query evaluation parallelism (0 = GOMAXPROCS)")
 	planCache := flag.Int("plan-cache", 0, "compiled query plans kept in the LRU cache (0 = default)")
+	adaptive := flag.Bool("adaptive", false, "adaptive query execution: re-rank remaining join patterns from observed cardinalities (shorthand for -replan-every 1)")
+	replanEvery := flag.Int("replan-every", 0, "re-rank remaining patterns every N executed stages (0 = static plans)")
 	maxQueries := flag.Int("max-queries", 0, "concurrent /query evaluations admitted (0 = unlimited; excess waits, then 503)")
 	shardID := flag.Int("shard-id", -1, "this shard's ID within -fleet (-1 = standalone)")
 	fleetList := flag.String("fleet", "", "comma-separated addresses of ALL fleet shards in shard-ID order (requires -shard-id)")
@@ -221,6 +223,7 @@ func main() {
 		CheckpointEvery:      *checkpointEvery,
 		QueryWorkers:         *queryWorkers,
 		PlanCacheSize:        *planCache,
+		ReplanEvery:          resolveReplanEvery(*adaptive, *replanEvery),
 		MaxConcurrentQueries: *maxQueries,
 		Fleet:                fleetCfg,
 		Resilience: federation.Resilience{
@@ -277,6 +280,16 @@ func main() {
 	if gt != nil {
 		log.Printf("final quality vs ground truth: %v", eval.Compute(snap.Links, gt))
 	}
+}
+
+// resolveReplanEvery folds the -adaptive shorthand into the
+// -replan-every knob: -adaptive alone means "re-rank at every stage
+// boundary", while an explicit -replan-every wins either way.
+func resolveReplanEvery(adaptive bool, every int) int {
+	if every == 0 && adaptive {
+		return 1
+	}
+	return every
 }
 
 func loadGraph(path string, dict *rdf.Dict) *rdf.Graph {

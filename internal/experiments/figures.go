@@ -35,6 +35,9 @@ func Table1(scale float64) []Table1Row {
 	}
 	var rows []Table1Row
 	for _, p := range synth.Profiles() {
+		if p.Skewed {
+			continue // benchmark-only stress profile, not a paper dataset pair
+		}
 		prof := p
 		if scale != 1 {
 			prof = prof.Scale(scale)

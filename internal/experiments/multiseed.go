@@ -120,6 +120,9 @@ type SummaryRow struct {
 func Summary(opts Options) ([]SummaryRow, error) {
 	var rows []SummaryRow
 	for _, p := range synth.Profiles() {
+		if p.Skewed {
+			continue // benchmark-only stress profile, not part of the paper's figures
+		}
 		run, err := RunQuality(p.Name, opts)
 		if err != nil {
 			return nil, err

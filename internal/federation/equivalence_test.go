@@ -28,13 +28,16 @@ import (
 // legacyOptions is the pre-PR-5 evaluator, the reference semantics.
 var legacyOptions = Options{Workers: 1, NoReorder: true, LegacyProvenance: true}
 
-// evalConfigs enumerates the configuration lattice under test.
+// evalConfigs enumerates the configuration lattice under test: worker
+// count × reordering × provenance × adaptive re-planning = 32 configs.
 func evalConfigs() []Options {
 	var out []Options
 	for _, w := range []int{1, 2, 3, 8} {
 		for _, noReorder := range []bool{false, true} {
 			for _, legacyProv := range []bool{false, true} {
-				out = append(out, Options{Workers: w, NoReorder: noReorder, LegacyProvenance: legacyProv})
+				for _, replan := range []int{0, 1} {
+					out = append(out, Options{Workers: w, NoReorder: noReorder, LegacyProvenance: legacyProv, ReplanEvery: replan})
+				}
 			}
 		}
 	}
@@ -42,7 +45,7 @@ func evalConfigs() []Options {
 }
 
 func optionsLabel(o Options) string {
-	return fmt.Sprintf("w%d_reorder=%v_cow=%v", o.Workers, !o.NoReorder, !o.LegacyProvenance)
+	return fmt.Sprintf("w%d_reorder=%v_cow=%v_replan=%d", o.Workers, !o.NoReorder, !o.LegacyProvenance, o.ReplanEvery)
 }
 
 // withOptions returns a shallow copy of f running under o, so one
@@ -97,13 +100,27 @@ func assertAllConfigsMatch(t *testing.T, f *Federator, queries map[string]string
 			}
 			want := canonicalResult(ref)
 			for _, o := range evalConfigs() {
-				got, err := withOptions(f, o).Query(q)
-				if err != nil {
-					t.Fatalf("%s: %v", optionsLabel(o), err)
+				fo := withOptions(f, o)
+				runs := 1
+				if o.ReplanEvery > 0 {
+					// Adaptive configs get their own plan cache and run
+					// the query three times: cold (static estimates),
+					// learned (ranking from the first run's observed
+					// cardinalities) and refined. Every run must stay
+					// answer-identical to the legacy evaluator no matter
+					// what order the observations steer it to.
+					fo.SetPlanCache(NewPlanCache(16))
+					runs = 3
 				}
-				if c := canonicalResult(got); c != want {
-					t.Errorf("%s diverges from legacy:\n--- legacy ---\n%s--- %s ---\n%s",
-						optionsLabel(o), want, optionsLabel(o), c)
+				for r := 0; r < runs; r++ {
+					got, err := fo.Query(q)
+					if err != nil {
+						t.Fatalf("%s run %d: %v", optionsLabel(o), r, err)
+					}
+					if c := canonicalResult(got); c != want {
+						t.Errorf("%s run %d diverges from legacy:\n--- legacy ---\n%s--- %s ---\n%s",
+							optionsLabel(o), r, want, optionsLabel(o), c)
+					}
 				}
 			}
 		})
@@ -232,9 +249,12 @@ func TestEquivalenceDegradedWorld(t *testing.T) {
 // dataset pairs with the ground-truth links installed, covering dense
 // sameAs fan-out and realistic value distributions.
 func TestEquivalenceSynthProfiles(t *testing.T) {
-	profiles := []string{"dbpedia-nytimes", "dbpedia-drugbank"}
+	profiles := []string{"dbpedia-nytimes", "dbpedia-drugbank", "skewed-hub"}
 	if testing.Short() {
-		profiles = profiles[:1]
+		// Keep one paper profile plus the skewed profile, whose whole
+		// point is that adaptive configs execute a different join order
+		// than static ones — and must still answer identically.
+		profiles = []string{"dbpedia-nytimes", "skewed-hub"}
 	}
 	for _, name := range profiles {
 		name := name
@@ -253,7 +273,7 @@ func TestEquivalenceSynthProfiles(t *testing.T) {
 			}
 			f.SetLinks(ds.GroundTruth)
 
-			assertAllConfigsMatch(t, f, map[string]string{
+			queries := map[string]string{
 				"cross-source-join": `SELECT ?e ?n ?g WHERE {
 					?e <http://ds1.example.org/onto/label> ?n .
 					?e <http://ds2.example.org/prop/group> ?g .
@@ -280,7 +300,19 @@ func TestEquivalenceSynthProfiles(t *testing.T) {
 					?e <http://ds1.example.org/onto/type> ?ty .
 					?e <http://ds2.example.org/prop/group> ?g .
 				} GROUP BY ?g`,
-			})
+			}
+			if name == "skewed-hub" {
+				// The query shape the profile is built to mislead: the
+				// static planner schedules the hub fan-out before the
+				// type filter, an adaptive run learns to flip them.
+				// Either order must produce the same rows + provenance.
+				queries["hub-fanout"] = fmt.Sprintf(`SELECT ?e ?x WHERE {
+					?e <http://ds1.example.org/onto/category> %q .
+					?e <http://ds2.example.org/prop/connectedWith> ?x .
+					?e <http://ds1.example.org/onto/type> "active" .
+				}`, synth.SkewSeedCategory)
+			}
+			assertAllConfigsMatch(t, f, queries)
 		})
 	}
 }

@@ -97,6 +97,15 @@ type Federator struct {
 	// plans, when non-nil, caches compiled plans by query text; shared
 	// with WithLinks snapshots because plans are link-independent.
 	plans *PlanCache
+	// ametrics counts adaptive-execution events (see runtimestats.go);
+	// shared with WithLinks snapshots like guards, so the counters are
+	// monotone across snapshot publications.
+	ametrics *adaptiveMetrics
+	// traceExec, when non-nil, observes the executed stage order of
+	// every group (indices into grp.Triples, in execution order). Test
+	// hook for the re-planning determinism suite; never set in
+	// production.
+	traceExec func(grp *sparql.GroupGraphPattern, order []int)
 }
 
 type edge struct {
@@ -111,6 +120,7 @@ func New(dict *rdf.Dict) *Federator {
 		same:        make(map[rdf.ID][]edge),
 		predSources: make(map[rdf.ID][]int),
 		res:         DefaultResilience(),
+		ametrics:    &adaptiveMetrics{},
 	}
 }
 
@@ -189,6 +199,8 @@ func (f *Federator) WithLinks(ls links.Set) *Federator {
 		guards:      f.guards,
 		opts:        f.opts,
 		plans:       f.plans,
+		ametrics:    f.ametrics,
+		traceExec:   f.traceExec,
 	}
 }
 
@@ -263,12 +275,27 @@ func (f *Federator) EvalContext(ctx context.Context, q *sparql.Query) (*ResultSe
 // parallel, so Degraded is decided before evaluation and independent
 // of join order), evaluate the pattern tree with the configured worker
 // count, then finalize through the sparql engine and re-associate
-// per-row provenance.
+// per-row provenance. Under adaptive execution a RuntimeStats table
+// rides along: probes and stages record into it, ranking consults it,
+// and it is folded into the plan's learned table at the end so the
+// next query over a cached plan starts from real cardinalities.
 func (f *Federator) evalPlan(ctx context.Context, p *plan) (*ResultSet, error) {
 	if len(f.sources) == 0 {
 		return nil, fmt.Errorf("federation: no sources registered")
 	}
-	ec := f.newEvalCtx(ctx, p.probe)
+	var stats *RuntimeStats
+	if f.opts.adaptive() && p.nstages > 0 {
+		stats = newRuntimeStats(p.nstages, len(f.sources))
+	}
+	ec := f.newEvalCtx(ctx, p.probe, stats)
+	if stats != nil && p.obs != nil {
+		if p.obs.validate(f.linkCount) {
+			ec.learned = p.obs
+			if f.ametrics != nil {
+				f.ametrics.learnedHits.Add(1)
+			}
+		}
+	}
 	workers := f.opts.workerCount()
 	var empty prov
 	if f.opts.LegacyProvenance {
@@ -277,6 +304,9 @@ func (f *Federator) evalPlan(ctx context.Context, p *plan) (*ResultSet, error) {
 		empty = cowProv{}
 	}
 	rows := f.evalGroup(ec, p, p.q.Where, []irow{{b: sparql.Binding{}, used: empty}}, workers)
+	if stats != nil {
+		stats.foldInto(p.obs)
+	}
 
 	// Project/sort/limit via the sparql engine, keeping provenance
 	// aligned by evaluating on indices.
@@ -371,13 +401,24 @@ func (f *Federator) projectionKey(vars []string, b sparql.Binding) string {
 func (f *Federator) evalGroup(ec *evalCtx, p *plan, grp *sparql.GroupGraphPattern, input []irow, workers int) []irow {
 	rows := input
 
-	for _, ti := range p.order[grp] {
-		tp := grp.Triples[ti]
-		rows = mapRows(workers, rows, func(r irow, emit func(irow)) {
-			f.matchPattern(ec, tp, r, emit)
-		})
-		if len(rows) == 0 {
-			break
+	if ec.stats != nil {
+		rows = f.evalTriplesAdaptive(ec, p, grp, rows, workers)
+	} else {
+		var executed []int
+		for _, ti := range p.order[grp] {
+			tp := grp.Triples[ti]
+			rows = mapRows(workers, rows, func(r irow, emit func(irow)) {
+				f.matchPattern(ec, tp, r, emit)
+			})
+			if f.traceExec != nil {
+				executed = append(executed, ti)
+			}
+			if len(rows) == 0 {
+				break
+			}
+		}
+		if f.traceExec != nil {
+			f.traceExec(grp, executed)
 		}
 	}
 

@@ -31,7 +31,17 @@ type Options struct {
 	// per intermediate row instead of extending an immutable
 	// links.Frozen chain.
 	LegacyProvenance bool
+	// ReplanEvery enables adaptive execution (see adaptive.go): after
+	// every ReplanEvery executed pattern stages, the remaining patterns
+	// of the group are re-ranked using observed cardinalities instead of
+	// static estimates. 0 disables re-planning and preserves the static
+	// PR-5 plan exactly. Ignored when NoReorder is set: a pinned written
+	// order leaves nothing to re-rank.
+	ReplanEvery int
 }
+
+// adaptive reports whether the evaluator re-ranks patterns mid-query.
+func (o Options) adaptive() bool { return o.ReplanEvery > 0 && !o.NoReorder }
 
 // SetOptions replaces the evaluator options. Not safe concurrently
 // with queries; set options before publishing a snapshot.
@@ -44,11 +54,31 @@ func (f *Federator) Opts() Options { return f.opts }
 // probe set. The AST itself is never mutated — join order lives in a
 // side table keyed by group identity — so planning works on
 // caller-owned queries and a cached plan can serve concurrent readers.
+// The one mutable field is obs, the learned cardinality table fed by
+// adaptive executions; it is internally synchronized and only ever
+// steers ordering, never answers, so sharing a cached plan remains
+// safe (see runtimestats.go).
 type plan struct {
 	q *sparql.Query
 	// order maps each group pattern of q to the evaluation order of its
 	// Triples, as indices into grp.Triples.
 	order map[*sparql.GroupGraphPattern][]int
+	// stageOf assigns every triple pattern a plan-global stage id
+	// (stageOf[grp][i] is the id of grp.Triples[i]), indexing the
+	// RuntimeStats and obsTable counters. Ids follow the deterministic
+	// planning walk, so a cached plan's ids are stable across queries.
+	stageOf map[*sparql.GroupGraphPattern][]int
+	// baseBound is the set of variables guaranteed bound when a group
+	// starts evaluating (the planning-time bound set), the starting
+	// point for binding-safety checks during adaptive re-ranking.
+	baseBound map[*sparql.GroupGraphPattern]map[string]bool
+	// nstages is the total number of triple-pattern stages in the plan.
+	nstages int
+	// obs accumulates observed per-stage cardinalities across adaptive
+	// executions of this plan; nil until first planned. Cached plans
+	// keep it, which is what makes hot queries converge to the best
+	// order across requests.
+	obs *obsTable
 	// probe lists the indexes of guarded sources this query may touch;
 	// they are probed in parallel before evaluation starts, which makes
 	// Degraded reporting independent of join order and worker count.
@@ -57,11 +87,17 @@ type plan struct {
 
 // planQuery compiles q against the federator's source statistics.
 func (f *Federator) planQuery(q *sparql.Query) *plan {
-	p := &plan{q: q, order: make(map[*sparql.GroupGraphPattern][]int)}
+	p := &plan{
+		q:         q,
+		order:     make(map[*sparql.GroupGraphPattern][]int),
+		stageOf:   make(map[*sparql.GroupGraphPattern][]int),
+		baseBound: make(map[*sparql.GroupGraphPattern]map[string]bool),
+	}
 	probe := make(map[int]bool)
 	if q.Where != nil {
 		f.planGroup(q.Where, map[string]bool{}, p, probe)
 	}
+	p.obs = newObsTable(p.nstages)
 	for si := range probe {
 		p.probe = append(p.probe, si)
 	}
@@ -75,6 +111,13 @@ func (f *Federator) planQuery(q *sparql.Query) *plan {
 // variables before recursing, because nested groups see those
 // bindings. Union alternatives do not extend bound for each other.
 func (f *Federator) planGroup(grp *sparql.GroupGraphPattern, bound map[string]bool, p *plan, probe map[int]bool) {
+	p.baseBound[grp] = copyBound(bound)
+	ids := make([]int, len(grp.Triples))
+	for i := range ids {
+		ids[i] = p.nstages + i
+	}
+	p.nstages += len(grp.Triples)
+	p.stageOf[grp] = ids
 	p.order[grp] = f.orderTriples(grp.Triples, bound, probe)
 
 	inner := copyBound(bound)

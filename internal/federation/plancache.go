@@ -21,8 +21,9 @@ type PlanCache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type planEntry struct {
@@ -87,12 +88,21 @@ func (c *PlanCache) put(key string, p *plan) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*planEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *PlanCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns how many plans have been evicted by the LRU bound.
+// An eviction also discards the plan's learned cardinality table, so a
+// hot cache that is too small both re-plans and re-learns; the
+// alexd_plan_cache_evictions_total metric makes that visible.
+func (c *PlanCache) Evictions() uint64 {
+	return c.evictions.Load()
 }
 
 // Len returns the number of cached plans.

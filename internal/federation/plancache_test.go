@@ -54,6 +54,9 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	if pc.Len() != 2 {
 		t.Fatalf("Len = %d, want capacity 2", pc.Len())
 	}
+	if ev := pc.Evictions(); ev != 1 {
+		t.Fatalf("Evictions = %d, want 1 (qb pushed out by qc)", ev)
+	}
 	_, missesBefore := pc.Stats()
 	if _, err := f.Query(qa); err != nil { // still cached
 		t.Fatal(err)
@@ -66,6 +69,9 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	}
 	if _, misses := pc.Stats(); misses != missesBefore+1 {
 		t.Fatalf("LRU plan not evicted (misses %d -> %d)", missesBefore, misses)
+	}
+	if ev := pc.Evictions(); ev != 2 {
+		t.Fatalf("Evictions = %d, want 2 (re-planning qb evicted another entry)", ev)
 	}
 }
 
@@ -190,5 +196,8 @@ func TestPlanCacheCapacityChurn(t *testing.T) {
 		if pc.Len() > 3 {
 			t.Fatalf("cache grew past capacity: %d", pc.Len())
 		}
+	}
+	if ev := pc.Evictions(); ev != 17 {
+		t.Fatalf("Evictions = %d, want 17 (20 distinct plans through capacity 3)", ev)
 	}
 }

@@ -122,23 +122,41 @@ func (f *Federator) SourceStatuses() []SourceStatus {
 // Deciding availability ahead of evaluation makes Degraded a pure
 // function of the plan and the sources' health: it cannot vary with
 // join order, worker count or how early the row stream runs dry, which
-// the equivalence harness relies on. After construction the evalCtx is
-// read-only and therefore safe to share across evaluation workers.
+// the equivalence harness relies on. After construction the evalCtx's
+// fields are read-only and therefore safe to share across evaluation
+// workers; stats (non-nil only under adaptive execution) is internally
+// atomic and mutated through it.
 type evalCtx struct {
 	ctx      context.Context
 	avail    []bool // per source index; true = usable by this query
 	degraded []int  // probed sources that failed, ascending
+	// stats is this query's observation table; nil unless the evaluator
+	// runs adaptively (Options.adaptive()).
+	stats *RuntimeStats
+	// learned is the plan's validated cross-query observation table, or
+	// nil when it holds no usable (or only stale) data.
+	learned *obsTable
+}
+
+// learnedExpansion returns the learned per-row multiplier of a stage
+// from earlier queries over the same cached plan, if any.
+func (ec *evalCtx) learnedExpansion(stage int) (float64, bool) {
+	if ec.learned == nil {
+		return 0, false
+	}
+	return ec.learned.expansion(stage)
 }
 
 // newEvalCtx probes the plan's guarded sources concurrently and
 // records the availability verdicts. probe holds guarded source
 // indexes only (see plan.probe); unguarded local sources are always
-// available.
-func (f *Federator) newEvalCtx(ctx context.Context, probe []int) *evalCtx {
+// available. Under adaptive execution (stats non-nil) each probe's
+// latency is recorded as the source's observed round-trip cost.
+func (f *Federator) newEvalCtx(ctx context.Context, probe []int, stats *RuntimeStats) *evalCtx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ec := &evalCtx{ctx: ctx, avail: make([]bool, len(f.sources))}
+	ec := &evalCtx{ctx: ctx, avail: make([]bool, len(f.sources)), stats: stats}
 	for i := range ec.avail {
 		ec.avail[i] = f.guards[i] == nil
 	}
@@ -151,7 +169,11 @@ func (f *Federator) newEvalCtx(ctx context.Context, probe []int) *evalCtx {
 		wg.Add(1)
 		go func(k, si int) {
 			defer wg.Done()
+			start := time.Now()
 			results[k] = f.probeSource(ctx, si)
+			if stats != nil {
+				stats.recordProbe(si, time.Since(start))
+			}
 		}(k, si)
 	}
 	wg.Wait()

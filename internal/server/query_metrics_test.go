@@ -60,6 +60,61 @@ func TestQueryMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestAdaptiveMetricsExposition drives /query with adaptive execution
+// enabled and asserts the adaptive observability surface: mid-query
+// re-rankings, learned-plan hits, and plan-cache evictions.
+func TestAdaptiveMetricsExposition(t *testing.T) {
+	dict, sources, sys, _ := tinyWorld(t)
+	_, ts, client := newTestServer(t, sys, dict, sources, Config{
+		FlushInterval: 20 * time.Millisecond,
+		PlanCacheSize: 1,
+		ReplanEvery:   1,
+	})
+
+	// Two stages => one re-ranking per evaluation; the second run of
+	// the same text starts from the cached plan's observations.
+	q := `SELECT ?l ?n WHERE {
+		<http://ds1/a1> <http://ds1/label> ?l .
+		<http://ds1/a1> <http://ds2/name> ?n .
+	}`
+	for i := 0; i < 2; i++ {
+		res, err := client.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("rows = %d, want 1", len(res.Rows))
+		}
+	}
+	// A second query text overflows the single-entry cache.
+	if _, err := client.Query(`SELECT ?n WHERE { <http://ds1/a1> <http://ds2/name> ?n . }`); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE alexd_replans_total counter",
+		"alexd_replans_total 2",
+		"# TYPE alexd_plan_learned_hits_total counter",
+		"alexd_plan_learned_hits_total 1",
+		"# TYPE alexd_plan_cache_evictions_total counter",
+		"alexd_plan_cache_evictions_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestQueryMetricsCacheDistinctQueries checks that distinct query texts
 // occupy distinct plan-cache entries.
 func TestQueryMetricsCacheDistinctQueries(t *testing.T) {

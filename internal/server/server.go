@@ -123,6 +123,12 @@ type Config struct {
 	// by all published snapshots; 0 or negative means
 	// federation.DefaultPlanCacheSize.
 	PlanCacheSize int
+	// ReplanEvery enables adaptive query execution: after every
+	// ReplanEvery executed pattern stages the evaluator re-ranks the
+	// remaining patterns using observed cardinalities, and cached plans
+	// learn cardinalities across requests. 0 keeps the static planner
+	// (see federation.Options.ReplanEvery).
+	ReplanEvery int
 	// MaxConcurrentQueries caps in-flight /query evaluations; excess
 	// requests wait for a slot until their deadline, then get 503 +
 	// Retry-After. 0 means unlimited. Fleet routers use this so one
@@ -319,7 +325,7 @@ func New(eng Engine, dict *rdf.Dict, sources []federation.Source, cfg Config) (*
 	cfg = cfg.withDefaults()
 	base := federation.New(dict)
 	base.SetResilience(cfg.Resilience)
-	base.SetOptions(federation.Options{Workers: cfg.QueryWorkers})
+	base.SetOptions(federation.Options{Workers: cfg.QueryWorkers, ReplanEvery: cfg.ReplanEvery})
 	plans := federation.NewPlanCache(cfg.PlanCacheSize)
 	base.SetPlanCache(plans)
 	for _, src := range sources {
@@ -454,8 +460,19 @@ func (s *Server) registerMetrics() {
 		_, misses := s.plans.Stats()
 		return misses
 	})
+	s.reg.CounterFunc("alexd_plan_cache_evictions_total", "Compiled plans (and their learned cardinalities) evicted by the LRU bound.", func() uint64 {
+		return s.plans.Evictions()
+	})
 	s.reg.GaugeFunc("alexd_plan_cache_entries", "Compiled plans currently cached.", func() float64 {
 		return float64(s.plans.Len())
+	})
+	s.reg.CounterFunc("alexd_replans_total", "Mid-query re-rankings performed by the adaptive evaluator.", func() uint64 {
+		replans, _ := s.base.AdaptiveStats()
+		return replans
+	})
+	s.reg.CounterFunc("alexd_plan_learned_hits_total", "Queries that started with usable learned cardinalities from their cached plan.", func() uint64 {
+		_, hits := s.base.AdaptiveStats()
+		return hits
 	})
 	m.feedbackQueued = s.reg.Counter("alexd_feedback_total", "Answer-level feedback items accepted into the queue.")
 	m.feedbackThrottled = s.reg.Counter("alexd_feedback_throttled_total", "Feedback items refused with 429 (queue full).")

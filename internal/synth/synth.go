@@ -59,6 +59,12 @@ type Profile struct {
 	// the regime of the paper's specific-domain experiments where a
 	// handful of feedback items discovers most missing links.
 	VariantNoiseMax int
+	// Skewed selects the skewed-cardinality generator (see runSkewed)
+	// instead of the paper-profile generator: correlated category/type
+	// values plus a hub-concentrated connectedWith fan-out, built so
+	// static CountMatch join ordering is provably wrong. Used by the
+	// adaptive-execution benchmarks and equivalence tests.
+	Skewed bool
 	// EpisodeSize is the feedback episode size the paper uses with this
 	// pair (1000 in batch mode, 10 in the specific-domain setting).
 	EpisodeSize int
@@ -159,6 +165,12 @@ func Profiles() []Profile {
 			ExactFrac: 0.30, Traps: 120, AmbiguousFrac: 0.6, SharedTypeFrac: 0.10,
 			EpisodeSize: 1000, Partitions: 12, Seed: 111,
 		},
+		{
+			Name:        "skewed-hub",
+			Description: "adaptive-execution stress: hub fan-out makes static join ordering wrong",
+			N1:          1000, N2: 1000, Matched: 1000, Skewed: true,
+			EpisodeSize: 1000, Partitions: 4, Seed: 112,
+		},
 	}
 }
 
@@ -228,7 +240,11 @@ func Generate(p Profile) *Dataset {
 		GroundTruth: links.NewSet(),
 	}
 	g := &generator{p: p, rng: rng, ds: ds}
-	g.run()
+	if p.Skewed {
+		g.runSkewed()
+	} else {
+		g.run()
+	}
 	return ds
 }
 
@@ -307,6 +323,83 @@ func (g *generator) run() {
 
 	g.ds.Entities1 = subjectsOnly(g.ds.G1, ns1+"resource/")
 	g.ds.Entities2 = subjectsOnly(g.ds.G2, ns2+"resource/")
+}
+
+// Skewed-hub generator shape. Every entity i belongs to category
+// group "g{i%skewGroups}". The seed group (g7) is a hub: each of its
+// dataset-2 twins fans out skewFan connectedWith edges, while only one
+// non-hub entity in skewBgEvery carries a single background edge; and
+// the hub group is mostly NOT "active" (one in skewActiveEvery), while
+// every non-hub entity is. The counts are all linear in N, so at any
+// scale the static planner — which sees ~0.84·N connectedWith triples
+// versus ~0.91·N "active" type triples and divides both by the same
+// bound-variable factor — always schedules connectedWith before the
+// type filter after the category pattern. That order is wrong by
+// construction: for hub-group rows connectedWith expands skewFan× per
+// row where the type filter would first shrink them 10×. Observed
+// cardinalities expose this; posting-list counts cannot, because the
+// skew lives in the correlation between category and fan-out.
+const (
+	skewGroups      = 10
+	skewSeedGroup   = 7
+	skewFan         = 8
+	skewBgEvery     = 25
+	skewActiveEvery = 10
+)
+
+// SkewSeedCategory is the hub category value skewed-hub queries select.
+const SkewSeedCategory = "g7"
+
+// runSkewed builds the skewed-hub dataset pair. Both sides keep the
+// standard predicate vocabulary (label/birth/category/type on ds1,
+// name/born/group/kind on ds2) so generic cross-source queries work,
+// and every entity pair is ground-truth matched so sameAs resolution
+// is exercised on every join.
+func (g *generator) runSkewed() {
+	g.cats = categories(g.rng)
+	g.places = places(g.rng, g.p.N1/3+8)
+	n := g.p.N1
+	if g.p.N2 < n {
+		n = g.p.N2
+	}
+	g1, g2 := g.ds.G1, g.ds.G2
+	for i := 0; i < n; i++ {
+		per := g.randomPerson()
+		cat := fmt.Sprintf("g%d", i%skewGroups)
+		hub := i%skewGroups == skewSeedGroup
+		status := "active"
+		if hub && (i/skewGroups)%skewActiveEvery != 0 {
+			status = "idle"
+		}
+
+		e1 := E1IRI(i)
+		g1.Insert(rdf.Triple{S: e1, P: P1Label, O: rdf.Literal(per.name)})
+		g1.Insert(rdf.Triple{S: e1, P: P1Birth, O: rdf.TypedLiteral(per.born.Format("2006-01-02"), rdf.XSDDate)})
+		g1.Insert(rdf.Triple{S: e1, P: P1Cat, O: rdf.Literal(cat)})
+		g1.Insert(rdf.Triple{S: e1, P: P1Place, O: rdf.Literal(per.place)})
+		g1.Insert(rdf.Triple{S: e1, P: P1Type, O: rdf.Literal(status)})
+
+		e2 := E2IRI(i)
+		g2.Insert(rdf.Triple{S: e2, P: P2Name, O: rdf.Literal(per.name)})
+		g2.Insert(rdf.Triple{S: e2, P: P2Born, O: rdf.TypedLiteral(per.born.Format("2006-01-02"), rdf.XSDDate)})
+		g2.Insert(rdf.Triple{S: e2, P: P2Group, O: rdf.Literal(cat)})
+		g2.Insert(rdf.Triple{S: e2, P: P2Kind, O: rdf.Literal(fmt.Sprintf("k%d", i%5))})
+		g2.Insert(rdf.Triple{S: e2, P: P2Place, O: rdf.Literal(per.place)})
+		if hub {
+			for j := 0; j < skewFan; j++ {
+				item := rdf.IRI(fmt.Sprintf("%sitem/I%d", ns2, i*skewFan+j))
+				g2.Insert(rdf.Triple{S: e2, P: P2Rel, O: item})
+			}
+		} else if i%skewBgEvery == 0 {
+			g2.Insert(rdf.Triple{S: e2, P: P2Rel, O: rdf.IRI(fmt.Sprintf("%sitem/I%d", ns2, n*skewFan+i))})
+		}
+
+		id1, _ := g1.Dict().Lookup(e1)
+		id2, _ := g2.Dict().Lookup(e2)
+		g.ds.GroundTruth.Add(links.Link{E1: id1, E2: id2})
+	}
+	g.ds.Entities1 = subjectsOnly(g1, ns1+"resource/")
+	g.ds.Entities2 = subjectsOnly(g2, ns2+"resource/")
 }
 
 func subjectsOnly(gr *rdf.Graph, prefix string) []rdf.ID {
