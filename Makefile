@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query bench-fleet fleet-smoke fleet-chaos clean
+.PHONY: all build test race vet lint verify fmt fmt-check bench bench-space bench-query bench-fleet bench-store fleet-smoke fleet-chaos clean
 
 all: verify
 
@@ -63,6 +63,17 @@ bench-query:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFederatedQuery|BenchmarkAdaptiveQuery)$$' -benchmem \
 		-cpu=1,2,4,8 ./internal/federation | \
 		$(GO) run ./cmd/benchjson -out BENCH_query.json
+
+# bench-store runs the segment-store lifecycle benchmark at the
+# largest synth profile: segment build, mmap'd full scan, the O(delta)
+# disk checkpoint vs the mem backend's full serialization (acceptance:
+# >=10x faster), and mmap cold start vs N-Triples re-parse (acceptance:
+# faster). Results land in BENCH_store.json (delta_vs_prev against the
+# previous run).
+bench-store:
+	$(GO) test -run '^$$' -bench '^BenchmarkSegmentStore$$' -benchmem \
+		./internal/store | \
+		$(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # bench-fleet runs the sharded-fleet scatter-gather benchmark: router
 # query throughput over 1, 2 and 4 alexd shards with simulated

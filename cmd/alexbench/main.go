@@ -62,6 +62,7 @@ func main() {
 	replanEvery := flag.Int("replan-every", 0, "re-rank remaining patterns every N executed stages (0 = static plans)")
 	blocking := flag.Bool("block", false, "enable candidate blocking during space construction")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
+	storeBackend := flag.String("store", "mem", "triple store backend: mem (in-memory graphs) or disk (temporary mmap'd segment store)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	csvOut = *csvDir
@@ -82,7 +83,7 @@ func main() {
 	if *exp == "all" {
 		ids = experimentOrder
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Mutate: func(c *core.Config) {
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Store: *storeBackend, Mutate: func(c *core.Config) {
 		c.SpaceWorkers = *spaceWorkers
 		c.SpaceBlocking = *blocking
 		c.QueryWorkers = *queryWorkers

@@ -32,12 +32,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +53,7 @@ import (
 	"alex/internal/pprofserve"
 	"alex/internal/rdf"
 	"alex/internal/server"
+	"alex/internal/store"
 	"alex/internal/synth"
 )
 
@@ -72,6 +75,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for draining feedback")
 	dataDir := flag.String("data", "", "durability directory (feedback journal + checkpoints); empty disables durability")
 	checkpointEvery := flag.Int("checkpoint-every", 16, "episodes between state checkpoints (with -data)")
+	storeBackend := flag.String("store", "mem", "triple store backend: mem (rebuild graphs at startup) or disk (persistent mmap'd segment store under <data>/store; requires -data)")
 	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt deadline for a federated source access")
 	sourceRetries := flag.Int("source-retries", 2, "retries after a failed source access (jittered exponential backoff)")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive source failures that open its circuit breaker")
@@ -100,6 +104,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	switch *storeBackend {
+	case "mem", "disk":
+	default:
+		fmt.Fprintln(os.Stderr, "alexd: -store must be mem or disk")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *storeBackend == "disk" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "alexd: -store=disk requires -data (the store lives under <data>/store)")
+		flag.Usage()
+		os.Exit(2)
+	}
 	var peers []string // fleet mode: all shard addresses, ID order
 	if (*fleetList == "") != (*shardID < 0) {
 		fmt.Fprintln(os.Stderr, "alexd: -shard-id and -fleet must be given together")
@@ -117,51 +133,138 @@ func main() {
 
 	var (
 		dict       *rdf.Dict
-		g1, g2     *rdf.Graph
 		e1, e2     []rdf.ID
 		initial    []links.Link
 		gt         links.Set // synthetic mode only, for startup logging
 		sourceName = [2]string{"ds1", "ds2"}
+		prof       synth.Profile
 	)
-	switch {
-	case *profile != "":
-		prof, ok := synth.ProfileByName(*profile)
+	// Resolve the profile without generating anything: the warm-start
+	// path needs the source names and partition default up front.
+	if *profile != "" {
+		p, ok := synth.ProfileByName(*profile)
 		if !ok {
 			fatal(fmt.Errorf("unknown profile %q", *profile))
 		}
-		prof = prof.Scale(*scale)
-		log.Printf("generating %s (scale %.2f): %d + %d entities", prof.Name, *scale, prof.N1, prof.N2)
-		ds := synth.Generate(prof)
-		dict, g1, g2 = ds.Dict, ds.G1, ds.G2
-		e1, e2 = ds.Entities1, ds.Entities2
-		gt = ds.GroundTruth
+		prof = p.Scale(*scale)
 		sourceName[0], sourceName[1] = prof.Name+"-1", prof.Name+"-2"
 		if *partitions == 0 {
 			*partitions = prof.Partitions
 		}
-	default:
-		dict = rdf.NewDict()
-		g1 = loadGraph(*ds1Path, dict)
-		g2 = loadGraph(*ds2Path, dict)
-		e1, e2 = g1.SubjectIDs(), g2.SubjectIDs()
 	}
 
-	if *linksPath != "" {
-		initial = loadLinks(*linksPath, dict).Slice()
-		log.Printf("loaded %d initial links from %s", len(initial), *linksPath)
-	} else {
-		log.Printf("running PARIS linker for initial links...")
-		start := time.Now()
-		scored := paris.Link(g1, g2, e1, e2, paris.NewOptions())
-		initial = make([]links.Link, len(scored))
-		for i, s := range scored {
-			initial[i] = s.Link
+	// The serving stores: in-memory graphs, or mmap'd segments under
+	// <data>/store. storeMeta stamps the store with the inputs it was
+	// built from, so a warm start over different flags fails loudly
+	// instead of serving another dataset's dictionary IDs.
+	var (
+		t1, t2 store.TripleStore
+		stores *store.Set
+	)
+	storeMeta := fmt.Sprintf("ds1=%s ds2=%s", *ds1Path, *ds2Path)
+	if *profile != "" {
+		storeMeta = fmt.Sprintf("profile=%s scale=%g", *profile, *scale)
+	}
+	loadStart := time.Now()
+
+	if *storeBackend == "disk" {
+		dir := filepath.Join(*dataDir, "store")
+		set, err := store.Open(dir, store.Options{Meta: storeMeta})
+		switch {
+		case err == nil:
+			// Warm start: dictionary, segments, entity lists and initial
+			// links all come off disk (segments mmap'd) — no N-Triples
+			// parse, no synthesis, no linker run.
+			stores = set
+			dict = set.Dict()
+			t1, t2 = set.Source(sourceName[0]), set.Source(sourceName[1])
+			if t1 == nil || t2 == nil {
+				fatal(fmt.Errorf("store in %s is missing source %q or %q — rebuild with a fresh -data dir", dir, sourceName[0], sourceName[1]))
+			}
+			// Copies: fleet partitioning filters these in place, and the
+			// set's own slices must keep the full data for checkpoints.
+			e1 = append([]rdf.ID(nil), set.Entities(sourceName[0])...)
+			e2 = append([]rdf.ID(nil), set.Entities(sourceName[1])...)
+			ls, ok := set.InitialLinks()
+			if !ok {
+				fatal(fmt.Errorf("store in %s has no initial links — rebuild with a fresh -data dir", dir))
+			}
+			initial = append([]links.Link(nil), ls...)
+			if *linksPath != "" {
+				log.Printf("warm start: -links ignored, serving the store's persisted initial links")
+			}
+			log.Printf("warm start from %s: generation %d, %d + %d triples, %d initial links in %s",
+				dir, set.Generation(), t1.Size(), t2.Size(), len(initial), time.Since(loadStart).Round(time.Millisecond))
+		case errors.Is(err, store.ErrNoStore):
+			// First boot over this -data dir: build in memory below,
+			// then persist the pair so the next start is warm.
+		default:
+			fatal(err)
 		}
-		log.Printf("PARIS produced %d links in %s", len(initial), time.Since(start).Round(time.Millisecond))
+	}
+
+	if stores == nil {
+		var g1, g2 *rdf.Graph
+		switch {
+		case *profile != "":
+			log.Printf("generating %s (scale %.2f): %d + %d entities", prof.Name, *scale, prof.N1, prof.N2)
+			ds := synth.Generate(prof)
+			dict, g1, g2 = ds.Dict, ds.G1, ds.G2
+			e1, e2 = ds.Entities1, ds.Entities2
+			gt = ds.GroundTruth
+		default:
+			dict = rdf.NewDict()
+			g1 = loadGraph(*ds1Path, dict)
+			g2 = loadGraph(*ds2Path, dict)
+			e1, e2 = g1.SubjectIDs(), g2.SubjectIDs()
+		}
+
+		if *linksPath != "" {
+			initial = loadLinks(*linksPath, dict).Slice()
+			log.Printf("loaded %d initial links from %s", len(initial), *linksPath)
+		} else {
+			log.Printf("running PARIS linker for initial links...")
+			start := time.Now()
+			scored := paris.Link(g1, g2, e1, e2, paris.NewOptions())
+			initial = make([]links.Link, len(scored))
+			for i, s := range scored {
+				initial[i] = s.Link
+			}
+			log.Printf("PARIS produced %d links in %s", len(initial), time.Since(start).Round(time.Millisecond))
+		}
+
+		t1, t2 = g1, g2
+		if *storeBackend == "disk" {
+			dir := filepath.Join(*dataDir, "store")
+			set, err := store.Create(dir, dict, store.Options{Meta: storeMeta})
+			if err != nil {
+				fatal(err)
+			}
+			for i, g := range []*rdf.Graph{g1, g2} {
+				src, err := set.AddSource(sourceName[i])
+				if err != nil {
+					fatal(err)
+				}
+				g.ForEachMatchIDs(0, 0, 0, false, false, false, func(s, p, o rdf.ID) bool {
+					src.InsertIDs(s, p, o)
+					return true
+				})
+			}
+			set.SetEntities(sourceName[0], e1)
+			set.SetEntities(sourceName[1], e2)
+			set.SetInitialLinks(initial)
+			if err := set.Compact(); err != nil {
+				fatal(err)
+			}
+			stores = set
+			t1, t2 = set.Source(sourceName[0]), set.Source(sourceName[1])
+			log.Printf("segment store built in %s: generation %d (the next start over this -data dir is a warm mmap open)", dir, set.Generation())
+		}
 	}
 	if gt != nil {
 		log.Printf("initial quality vs ground truth: %v", eval.Compute(links.NewSet(initial...), gt))
 	}
+	storeLoadSeconds := time.Since(loadStart).Seconds()
 
 	// Fleet partitioning: the linker saw the full data above; now keep
 	// only the dataset-1 entities and links this shard's range owns.
@@ -208,11 +311,11 @@ func main() {
 	cfg.SpaceWorkers = *spaceWorkers
 	cfg.SpaceBlocking = *blocking
 	log.Printf("building ALEX system (%d partitions, blocking %v)...", cfg.Partitions, *blocking)
-	sys := core.New(g1, g2, e1, e2, initial, cfg)
+	sys := core.New(t1, t2, e1, e2, initial, cfg)
 
 	srv, err := server.New(sys, dict, []federation.Source{
-		{Name: sourceName[0], Graph: g1},
-		{Name: sourceName[1], Graph: g2},
+		{Name: sourceName[0], Graph: t1},
+		{Name: sourceName[1], Graph: t2},
 	}, server.Config{
 		EpisodeSize:          *episodeSize,
 		QueueSize:            *queueSize,
@@ -221,6 +324,8 @@ func main() {
 		DrainTimeout:         *drainTimeout,
 		DataDir:              *dataDir,
 		CheckpointEvery:      *checkpointEvery,
+		Stores:               stores,
+		StoreLoadSeconds:     storeLoadSeconds,
 		QueryWorkers:         *queryWorkers,
 		PlanCacheSize:        *planCache,
 		ReplanEvery:          resolveReplanEvery(*adaptive, *replanEvery),
@@ -274,6 +379,14 @@ func main() {
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("alexd: %v", err)
+	}
+	if stores != nil {
+		if _, err := stores.Checkpoint(); err != nil {
+			log.Printf("alexd: final store checkpoint: %v", err)
+		}
+		if err := stores.Close(); err != nil {
+			log.Printf("alexd: store close: %v", err)
+		}
 	}
 	snap := srv.Snapshot()
 	log.Printf("final snapshot v%d: %d links after %d episodes", snap.Version, snap.Links.Len(), snap.Episode)

@@ -44,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "gotrack",
 	Doc:  "flags goroutines not tied to a WaitGroup, done-channel, context, or stop-channel",
 	Match: func(p string) bool {
-		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet", "alex/internal/faultnet", "alex/cmd")
+		return analysis.PathHasAny(p, "alex/internal/server", "alex/internal/cluster", "alex/internal/fleet", "alex/internal/faultnet", "alex/internal/store", "alex/cmd")
 	},
 	Run: run,
 }

@@ -8,6 +8,7 @@ import (
 	"alex/internal/feedback"
 	"alex/internal/links"
 	"alex/internal/rdf"
+	"alex/internal/store"
 )
 
 // System is a running ALEX instance over one dataset pair.
@@ -50,7 +51,7 @@ func (s EpisodeStats) NegativePct() float64 {
 //
 // g1 and g2 must share one dictionary. Initial links whose dataset-1
 // entity is unknown are placed in partition 0.
-func New(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, initial []links.Link, cfg Config) *System {
+func New(g1, g2 store.TripleStore, entities1, entities2 []rdf.ID, initial []links.Link, cfg Config) *System {
 	if cfg.Partitions < 1 {
 		cfg.Partitions = 1
 	}

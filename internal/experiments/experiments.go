@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -16,6 +17,8 @@ import (
 	"alex/internal/feedback"
 	"alex/internal/links"
 	"alex/internal/paris"
+	"alex/internal/rdf"
+	"alex/internal/store"
 	"alex/internal/synth"
 )
 
@@ -45,6 +48,12 @@ type Options struct {
 	Mutate func(*core.Config)
 	// Seed overrides the oracle/driver seed (0 = default).
 	Seed int64
+	// Store selects the triple-store backend the run's sources are
+	// served from: "" or "mem" keeps the generated rdf.Graphs; "disk"
+	// persists them into a temporary mmap'd segment store (the alexd
+	// -store=disk serving path), so experiments exercise the segment
+	// read path end to end.
+	Store string
 }
 
 func (o *Options) fill() {
@@ -54,6 +63,49 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+}
+
+// stores returns the dataset pair behind the configured backend. For
+// "disk" the graphs are compacted into a segment store under a
+// temporary directory; cleanup unmaps and removes it (safe to call on
+// the mem path too).
+func (o *Options) stores(ds *synth.Dataset) (t1, t2 store.TripleStore, cleanup func(), err error) {
+	switch o.Store {
+	case "", "mem":
+		return ds.G1, ds.G2, func() {}, nil
+	case "disk":
+	default:
+		return nil, nil, nil, fmt.Errorf("experiments: unknown store backend %q (mem|disk)", o.Store)
+	}
+	dir, err := os.MkdirTemp("", "alexstore-*")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	set, err := store.Create(dir, ds.Dict, store.Options{})
+	if err != nil {
+		os.RemoveAll(dir) //nolint:errcheck // best-effort teardown
+		return nil, nil, nil, err
+	}
+	for name, g := range map[string]*rdf.Graph{"ds1": ds.G1, "ds2": ds.G2} {
+		src, err := set.AddSource(name)
+		if err != nil {
+			os.RemoveAll(dir) //nolint:errcheck // best-effort teardown
+			return nil, nil, nil, err
+		}
+		g.ForEachMatchIDs(0, 0, 0, false, false, false, func(s, p, o rdf.ID) bool {
+			src.InsertIDs(s, p, o)
+			return true
+		})
+	}
+	if err := set.Compact(); err != nil {
+		os.RemoveAll(dir) //nolint:errcheck // best-effort teardown
+		return nil, nil, nil, err
+	}
+	cleanup = func() {
+		set.Close()       //nolint:errcheck // read-only teardown
+		os.RemoveAll(dir) //nolint:errcheck // best-effort teardown
+	}
+	return set.Source("ds1"), set.Source("ds2"), cleanup, nil
 }
 
 // RunQuality executes the standard pipeline for one profile:
@@ -74,8 +126,13 @@ func RunQuality(profileName string, opts Options) (*QualityRun, error) {
 func RunQualityProfile(prof synth.Profile, opts Options) (*QualityRun, error) {
 	opts.fill()
 	ds := synth.Generate(prof)
+	t1, t2, cleanup, err := opts.stores(ds)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 
-	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	scored := paris.Link(t1, t2, ds.Entities1, ds.Entities2, paris.NewOptions())
 	initial := make([]links.Link, len(scored))
 	initialSet := links.NewSet()
 	for i, s := range scored {
@@ -92,7 +149,7 @@ func RunQualityProfile(prof synth.Profile, opts Options) (*QualityRun, error) {
 	}
 
 	buildStart := time.Now()
-	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	sys := core.New(t1, t2, ds.Entities1, ds.Entities2, initial, cfg)
 	buildTime := time.Since(buildStart)
 
 	oracle := feedback.NewOracle(ds.GroundTruth, opts.ErrRate, rand.New(rand.NewSource(opts.Seed)))

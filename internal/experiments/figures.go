@@ -239,7 +239,12 @@ func Fig7Rollback(profileName string, opts Options) (*Fig7Result, error) {
 		prof = prof.Scale(opts.Scale)
 	}
 	ds := synth.Generate(prof)
-	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	t1, t2, cleanup, err := opts.stores(ds)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	scored := paris.Link(t1, t2, ds.Entities1, ds.Entities2, paris.NewOptions())
 	initial := make([]links.Link, len(scored))
 	initialSet := links.NewSet()
 	for i, s := range scored {
@@ -255,7 +260,7 @@ func Fig7Rollback(profileName string, opts Options) (*Fig7Result, error) {
 		opts.Mutate(&cfg)
 	}
 	cfg.UseRollback = false
-	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	sys := core.New(t1, t2, ds.Entities1, ds.Entities2, initial, cfg)
 	oracle := feedback.NewOracle(ds.GroundTruth, opts.ErrRate, rand.New(rand.NewSource(opts.Seed)))
 
 	without := &QualityRun{Profile: prof, GroundTruth: ds.GroundTruth.Len()}
@@ -389,7 +394,12 @@ func runQualityWithJudger(profileName string, opts Options, mkJudger func(*synth
 		prof = prof.Scale(opts.Scale)
 	}
 	ds := synth.Generate(prof)
-	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	t1, t2, cleanup, err := opts.stores(ds)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	scored := paris.Link(t1, t2, ds.Entities1, ds.Entities2, paris.NewOptions())
 	initial := make([]links.Link, len(scored))
 	initialSet := links.NewSet()
 	for i, s := range scored {
@@ -404,7 +414,7 @@ func runQualityWithJudger(profileName string, opts Options, mkJudger func(*synth
 		opts.Mutate(&cfg)
 	}
 	start := time.Now()
-	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	sys := core.New(t1, t2, ds.Entities1, ds.Entities2, initial, cfg)
 	run := &QualityRun{Profile: prof, GroundTruth: ds.GroundTruth.Len(), BuildTime: time.Since(start)}
 	run.Initial = eval.Compute(sys.Candidates(), ds.GroundTruth)
 	run.Series.Append(run.Initial)

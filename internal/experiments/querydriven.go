@@ -31,7 +31,12 @@ func RunQueryDriven(profileName string, opts Options) (*QualityRun, error) {
 	}
 	ds := synth.Generate(prof)
 
-	scored := paris.Link(ds.G1, ds.G2, ds.Entities1, ds.Entities2, paris.NewOptions())
+	t1, t2, cleanup, err := opts.stores(ds)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	scored := paris.Link(t1, t2, ds.Entities1, ds.Entities2, paris.NewOptions())
 	initial := make([]links.Link, len(scored))
 	initialSet := links.NewSet()
 	for i, s := range scored {
@@ -53,7 +58,7 @@ func RunQueryDriven(profileName string, opts Options) (*QualityRun, error) {
 	}
 
 	buildStart := time.Now()
-	sys := core.New(ds.G1, ds.G2, ds.Entities1, ds.Entities2, initial, cfg)
+	sys := core.New(t1, t2, ds.Entities1, ds.Entities2, initial, cfg)
 	run := &QualityRun{Profile: prof, GroundTruth: ds.GroundTruth.Len(), BuildTime: time.Since(buildStart)}
 	run.Initial = eval.Compute(sys.Candidates(), ds.GroundTruth)
 	run.Series.Append(run.Initial)
@@ -61,10 +66,10 @@ func RunQueryDriven(profileName string, opts Options) (*QualityRun, error) {
 	fed := federation.New(ds.Dict)
 	fed.SetOptions(federation.Options{Workers: cfg.QueryWorkers, ReplanEvery: cfg.QueryReplanEvery})
 	fed.SetPlanCache(federation.NewPlanCache(0))
-	if err := fed.AddSource("ds1", ds.G1); err != nil {
+	if err := fed.AddSource("ds1", t1); err != nil {
 		return nil, err
 	}
-	if err := fed.AddSource("ds2", ds.G2); err != nil {
+	if err := fed.AddSource("ds2", t2); err != nil {
 		return nil, err
 	}
 

@@ -27,17 +27,22 @@ var ErrCrashed = errors.New("faultfs: crashed")
 type FS struct {
 	inner wal.FS
 
-	mu           sync.Mutex
-	writes       int // completed Write calls across all files
-	syncs        int // completed Sync calls across all files
-	closes       int // completed Close calls across all files
-	failSyncAt   int // fail the nth sync (1-based); 0 = never
-	failSyncAll  bool
-	failCloseAt  int // fail the nth close (1-based); 0 = never
-	failCloseAll bool
-	shortAt      int // tear the nth write in half (1-based); 0 = never
-	crashAfter   int // crash once this many writes have completed; -1 = never
-	crashed      bool
+	mu            sync.Mutex
+	writes        int // completed Write calls across all files
+	syncs         int // completed Sync calls across all files
+	closes        int // completed Close calls across all files
+	renames       int // completed Rename calls
+	failSyncAt    int // fail the nth sync (1-based); 0 = never
+	failSyncAll   bool
+	failCloseAt   int // fail the nth close (1-based); 0 = never
+	failCloseAll  bool
+	failRenameAt  int // fail the nth rename (1-based); 0 = never
+	failRenameAll bool
+	failLinks     bool
+	failMmaps     bool
+	shortAt       int // tear the nth write in half (1-based); 0 = never
+	crashAfter    int // crash once this many writes have completed; -1 = never
+	crashed       bool
 }
 
 // New wraps inner (nil for the real OS).
@@ -70,6 +75,25 @@ func (f *FS) FailCloseAt(n int) { f.mu.Lock(); f.failCloseAt = n; f.mu.Unlock() 
 // half of its buffer and return ErrInjected: a torn record.
 func (f *FS) ShortWriteAt(n int) { f.mu.Lock(); f.shortAt = n; f.mu.Unlock() }
 
+// FailRenameAt makes the nth Rename (1-based) return ErrInjected
+// without renaming: the atomic-commit step of a segment or manifest
+// write fails. Later renames succeed.
+func (f *FS) FailRenameAt(n int) { f.mu.Lock(); f.failRenameAt = n; f.mu.Unlock() }
+
+// FailRenames makes every subsequent Rename return ErrInjected.
+// Revive clears it.
+func (f *FS) FailRenames(fail bool) { f.mu.Lock(); f.failRenameAll = fail; f.mu.Unlock() }
+
+// FailLinks makes every subsequent Link return ErrInjected, forcing
+// the store's hardlink checkpoints onto the copy fallback. Revive
+// clears it.
+func (f *FS) FailLinks(fail bool) { f.mu.Lock(); f.failLinks = fail; f.mu.Unlock() }
+
+// FailMmaps makes every subsequent segment mmap fail with ErrInjected
+// (surfaced through the MmapFault hook the store probes before
+// mapping). Revive clears it.
+func (f *FS) FailMmaps(fail bool) { f.mu.Lock(); f.failMmaps = fail; f.mu.Unlock() }
+
 // CrashAfterWrites kills the simulated process once n more writes have
 // completed: the nth write still succeeds, then every subsequent
 // operation on the FS and its files returns ErrCrashed. n = 0 crashes
@@ -91,6 +115,10 @@ func (f *FS) Revive() {
 	f.failSyncAll = false
 	f.failCloseAt = 0
 	f.failCloseAll = false
+	f.failRenameAt = 0
+	f.failRenameAll = false
+	f.failLinks = false
+	f.failMmaps = false
 	f.shortAt = 0
 	f.mu.Unlock()
 }
@@ -138,10 +166,57 @@ func (f *FS) Open(name string) (io.ReadCloser, error) {
 }
 
 func (f *FS) Rename(oldname, newname string) error {
-	if f.dead() {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
 		return ErrCrashed
 	}
+	f.renames++
+	fail := f.failRenameAll || (f.failRenameAt > 0 && f.renames == f.failRenameAt)
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
 	return f.inner.Rename(oldname, newname)
+}
+
+// Link hardlinks through to the inner FS (the real OS unless the inner
+// FS provides its own), honoring crash state and the FailLinks fault.
+// The store falls back to copying when Link errors, so an injected
+// failure here exercises the copy path, not data loss.
+func (f *FS) Link(oldname, newname string) error {
+	f.mu.Lock()
+	fail := f.failLinks
+	dead := f.crashed
+	f.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	if fail {
+		return ErrInjected
+	}
+	if l, ok := f.inner.(interface {
+		Link(oldname, newname string) error
+	}); ok {
+		return l.Link(oldname, newname)
+	}
+	return errors.New("faultfs: inner FS does not support Link")
+}
+
+// MmapFault is the store's pre-mmap hook: it vetoes the mapping when a
+// crash or mmap fault is injected. A crashed process cannot map files;
+// an injected mmap failure drives the store onto its heap-read
+// fallback.
+func (f *FS) MmapFault(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.failMmaps {
+		return ErrInjected
+	}
+	return nil
 }
 
 func (f *FS) Remove(name string) error {

@@ -5,6 +5,7 @@ import (
 
 	"alex/internal/links"
 	"alex/internal/rdf"
+	"alex/internal/store"
 )
 
 // Build constructs the space for the cross product of entities1 (from
@@ -16,7 +17,7 @@ import (
 // slice is sorted by the total (score, link) order, so the result is
 // byte-identical to a serial build regardless of worker count or
 // scheduling.
-func Build(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, opts Options) *Space {
+func Build(g1, g2 store.TripleStore, entities1, entities2 []rdf.ID, opts Options) *Space {
 	opts.fill()
 	sp := &Space{
 		sets:       make(map[links.Link]Set),

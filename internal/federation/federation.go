@@ -25,6 +25,7 @@ import (
 	"alex/internal/links"
 	"alex/internal/rdf"
 	"alex/internal/sparql"
+	"alex/internal/store"
 )
 
 // Source is a named dataset participating in the federation. Access, if
@@ -33,7 +34,7 @@ import (
 // per-source deadline, retry and circuit-breaker machinery.
 type Source struct {
 	Name   string
-	Graph  *rdf.Graph
+	Graph  store.TripleStore
 	Access AccessFunc
 }
 
@@ -108,6 +109,15 @@ type Federator struct {
 	traceExec func(grp *sparql.GroupGraphPattern, order []int)
 }
 
+// SetExecTrace installs fn as the executed-stage-order observer: after
+// every group evaluation fn receives the pattern indices in the order
+// they actually ran. Equivalence harnesses use it to assert that two
+// federators (e.g. the mem and disk store backends) execute identical
+// plans. Install before issuing queries; never use in production.
+func (f *Federator) SetExecTrace(fn func(grp *sparql.GroupGraphPattern, order []int)) {
+	f.traceExec = fn
+}
+
 type edge struct {
 	other rdf.ID
 	link  links.Link
@@ -136,8 +146,8 @@ func (f *Federator) SetResilience(r Resilience) {
 	}
 }
 
-// AddSource registers a local in-memory dataset; see Add.
-func (f *Federator) AddSource(name string, g *rdf.Graph) error {
+// AddSource registers a local dataset (either store backend); see Add.
+func (f *Federator) AddSource(name string, g store.TripleStore) error {
 	return f.Add(Source{Name: name, Graph: g})
 }
 
@@ -513,7 +523,7 @@ type resolved struct {
 // resolutions returns the ways a pattern node can be bound in graph g
 // under the row's bindings: directly, or through each sameAs equivalent
 // present in g. An unbound node yields a single wildcard resolution.
-func (f *Federator) resolutions(g *rdf.Graph, n sparql.Node, b sparql.Binding) []resolved {
+func (f *Federator) resolutions(g store.TripleStore, n sparql.Node, b sparql.Binding) []resolved {
 	var t rdf.Term
 	if n.IsVar {
 		bound, ok := b[n.Var]
@@ -545,7 +555,7 @@ func (f *Federator) resolutions(g *rdf.Graph, n sparql.Node, b sparql.Binding) [
 	return out
 }
 
-func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row irow, emit func(irow)) {
+func (f *Federator) matchInSource(g store.TripleStore, tp sparql.TriplePattern, row irow, emit func(irow)) {
 	ss := f.resolutions(g, tp.S, row.b)
 	ps := f.resolutions(g, tp.P, row.b)
 	os := f.resolutions(g, tp.O, row.b)
@@ -558,7 +568,7 @@ func (f *Federator) matchInSource(g *rdf.Graph, tp sparql.TriplePattern, row iro
 	}
 }
 
-func (f *Federator) matchResolved(g *rdf.Graph, tp sparql.TriplePattern, row irow, rs, rp, ro resolved, emit func(irow)) {
+func (f *Federator) matchResolved(g store.TripleStore, tp sparql.TriplePattern, row irow, rs, rp, ro resolved, emit func(irow)) {
 	g.ForEachMatchIDs(rs.id, rp.id, ro.id, rs.have, rp.have, ro.have, func(ms, mp, mo rdf.ID) bool {
 		// Repeated-variable consistency before paying for the copy.
 		if tp.S.IsVar && tp.O.IsVar && tp.S.Var == tp.O.Var && ms != mo {

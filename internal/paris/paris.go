@@ -17,6 +17,7 @@ import (
 
 	"alex/internal/links"
 	"alex/internal/rdf"
+	"alex/internal/store"
 )
 
 // Options configures the linker.
@@ -61,7 +62,7 @@ func (o *Options) fill() {
 // Link aligns the given entities of g1 and g2 (which must share a
 // dictionary) and returns scored candidate links with score ≥ Threshold,
 // sorted by descending score.
-func Link(g1, g2 *rdf.Graph, entities1, entities2 []rdf.ID, opts Options) []links.Scored {
+func Link(g1, g2 store.TripleStore, entities1, entities2 []rdf.ID, opts Options) []links.Scored {
 	opts.fill()
 	a := &aligner{
 		g1: g1, g2: g2, opts: opts,
@@ -110,7 +111,7 @@ type predObj struct {
 }
 
 type aligner struct {
-	g1, g2   *rdf.Graph
+	g1, g2   store.TripleStore
 	opts     Options
 	in1, in2 map[rdf.ID]bool
 
@@ -139,7 +140,7 @@ func (a *aligner) prepare(entities1, entities2 []rdf.ID) {
 // index restricted to the selected subjects. Inverse functionality of a
 // relation r is (#distinct objects of r) / (#(s,o) pairs of r): 1 means
 // a value identifies its subject uniquely.
-func scanGraph(g *rdf.Graph, entities []rdf.ID) (map[rdf.ID]float64, map[rdf.ID][]predObj, map[rdf.ID][]rdf.Attribute) {
+func scanGraph(g store.TripleStore, entities []rdf.ID) (map[rdf.ID]float64, map[rdf.ID][]predObj, map[rdf.ID][]rdf.Attribute) {
 	pairs := map[rdf.ID]int{}
 	objs := map[rdf.ID]map[rdf.ID]struct{}{}
 	byObj := map[rdf.ID][]predObj{}

@@ -140,6 +140,25 @@ type ShardHealth struct {
 	Peers    []PeerHealth `json:"peers,omitempty"`
 }
 
+// StoreSourceHealth reports one disk-backed source's segment/delta
+// split — how much of it is immutable on-disk pages versus the
+// in-memory write delta awaiting the next compaction.
+type StoreSourceHealth struct {
+	Name           string `json:"name"`
+	Segments       int    `json:"segments"`
+	SegmentTriples int    `json:"segment_triples"`
+	DeltaTriples   int    `json:"delta_triples"`
+}
+
+// StoreHealth surfaces the active triple-store backend. Backend is
+// "mem" (everything in rdf.Graph maps) or "disk" (mmap'd immutable
+// segments plus a write delta); Sources is only set for "disk".
+type StoreHealth struct {
+	Backend    string              `json:"backend"`
+	Generation uint64              `json:"generation,omitempty"`
+	Sources    []StoreSourceHealth `json:"sources,omitempty"`
+}
+
 // HealthResponse reports liveness, writer progress, per-source breaker
 // state and the durability layer. Role is "standalone" or "shard";
 // Shard is set only for fleet members.
@@ -154,6 +173,7 @@ type HealthResponse struct {
 	QueueCapacity   int            `json:"queue_capacity"`
 	Sources         []SourceHealth `json:"sources"`
 	Journal         JournalHealth  `json:"journal"`
+	Store           StoreHealth    `json:"store"`
 	Shard           *ShardHealth   `json:"shard,omitempty"`
 }
 
@@ -444,6 +464,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			CheckpointSeq: s.recovery.CheckpointSeq,
 			Replayed:      s.recovery.Replayed,
 		},
+		Store: StoreHealth{Backend: "mem"},
+	}
+	if st := s.cfg.Stores; st != nil {
+		out.Store.Backend = "disk"
+		out.Store.Generation = st.Generation()
+		for _, src := range st.Sources() {
+			out.Store.Sources = append(out.Store.Sources, StoreSourceHealth{
+				Name:           src.Name(),
+				Segments:       src.SegmentCount(),
+				SegmentTriples: src.SegmentTriples(),
+				DeltaTriples:   src.DeltaSize(),
+			})
+		}
 	}
 	if s.fleet != nil {
 		rng := s.ranges[s.fleet.ShardID]

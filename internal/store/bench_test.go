@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alex/internal/rdf"
+	"alex/internal/synth"
+)
+
+// benchDataset generates the largest synth profile pair once per
+// process (Figure 8's dbpedia-opencyc) — the acceptance scale for the
+// segment-store numbers.
+var benchDS *synth.Dataset
+
+func benchDataset(b *testing.B) *synth.Dataset {
+	b.Helper()
+	if benchDS == nil {
+		prof, ok := synth.ProfileByName("dbpedia-opencyc")
+		if !ok {
+			b.Fatal("missing dbpedia-opencyc profile")
+		}
+		if testing.Short() {
+			prof = prof.Scale(0.1)
+		}
+		benchDS = synth.Generate(prof)
+	}
+	return benchDS
+}
+
+// buildBenchSet persists the dataset pair into dir and returns the
+// compacted set (clean: segments + manifest durable, empty deltas).
+func buildBenchSet(b *testing.B, dir string) *Set {
+	b.Helper()
+	ds := benchDataset(b)
+	// A private dictionary per set: benchmarks must not grow each
+	// other's dict (cold-start cost includes loading it).
+	set, err := Create(dir, nil, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := set.Dict()
+	for name, g := range map[string]*rdf.Graph{"ds1": ds.G1, "ds2": ds.G2} {
+		src, err := set.AddSource(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.ForEachMatchIDs(0, 0, 0, false, false, false, func(s, p, o rdf.ID) bool {
+			src.InsertIDs(dict.Intern(ds.Dict.Term(s)), dict.Intern(ds.Dict.Term(p)), dict.Intern(ds.Dict.Term(o)))
+			return true
+		})
+	}
+	if err := set.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// dirtyDelta inserts a small batch of fresh triples — one episode's
+// worth of discovered facts — so checkpoints have an O(delta) payload.
+func dirtyDelta(b *testing.B, set *Set, n, salt int) {
+	b.Helper()
+	src := set.Source("ds1")
+	for i := 0; i < n; i++ {
+		id := set.Dict().Intern(rdf.IRI(fmt.Sprintf("urn:bench:delta-%d-%d", salt, i)))
+		src.InsertIDs(id, 1, id)
+	}
+}
+
+// BenchmarkSegmentStore measures the four lifecycle phases the disk
+// backend exists for, at the largest synth profile:
+//
+//   - build: sort + write + fsync of all segments from scratch;
+//   - scan: a full wildcard scan of the mmap'd segments (the query
+//     path's worst case);
+//   - checkpoint/disk-delta: persisting a 100-triple delta with the
+//     segments untouched — the per-episode cost;
+//   - checkpoint/mem-serialize: what the mem backend would have to do
+//     instead: serialize the full dataset (the ≥10× acceptance foil);
+//   - coldstart/mmap: Open on a compacted directory (footers + dict);
+//   - coldstart/parse: re-parsing the same triples from N-Triples text
+//     into a fresh rdf.Graph, the mem backend's cold start.
+func BenchmarkSegmentStore(b *testing.B) {
+	ds := benchDataset(b)
+	total := ds.G1.Size() + ds.G2.Size()
+
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dir := b.TempDir()
+			set := buildBenchSet(b, dir)
+			if err := set.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(total), "triples")
+	})
+
+	b.Run("scan", func(b *testing.B) {
+		dir := b.TempDir()
+		set := buildBenchSet(b, dir)
+		defer set.Close() //nolint:errcheck // read-only teardown
+		src := set.Source("ds1")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			src.ForEachMatchIDs(0, 0, 0, false, false, false, func(s, p, o rdf.ID) bool {
+				n++
+				return true
+			})
+			if n != ds.G1.Size() {
+				b.Fatalf("scan saw %d triples, want %d", n, ds.G1.Size())
+			}
+		}
+	})
+
+	b.Run("checkpoint/disk-delta", func(b *testing.B) {
+		dir := b.TempDir()
+		set := buildBenchSet(b, dir)
+		defer set.Close() //nolint:errcheck // read-only teardown
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Fold the previous iteration's delta into segments so every
+			// timed checkpoint persists exactly one 100-triple delta.
+			if err := set.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			dirtyDelta(b, set, 100, i)
+			b.StartTimer()
+			wrote, err := set.Checkpoint()
+			if err != nil || !wrote {
+				b.Fatalf("checkpoint: wrote=%v err=%v", wrote, err)
+			}
+		}
+	})
+
+	b.Run("checkpoint/mem-serialize", func(b *testing.B) {
+		// The mem backend has no incremental on-disk form: snapshotting
+		// it means serializing every triple. Same durability protocol
+		// (write + fsync + rename) over the full N-Triples dump.
+		dir := b.TempDir()
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := rdf.WriteNTriples(&buf, ds.G1); err != nil {
+				b.Fatal(err)
+			}
+			if err := rdf.WriteNTriples(&buf, ds.G2); err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(dir, "full.nt.tmp")
+			f, err := os.Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Write(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := os.Rename(path, filepath.Join(dir, "full.nt")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("coldstart/mmap", func(b *testing.B) {
+		dir := b.TempDir()
+		set := buildBenchSet(b, dir)
+		if err := set.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			re, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if re.Source("ds1").Size() != ds.G1.Size() {
+				b.Fatal("cold start lost triples")
+			}
+			b.StopTimer()
+			if err := re.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+
+	b.Run("coldstart/parse", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := rdf.WriteNTriples(&buf, ds.G1); err != nil {
+			b.Fatal(err)
+		}
+		if err := rdf.WriteNTriples(&buf, ds.G2); err != nil {
+			b.Fatal(err)
+		}
+		text := buf.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := rdf.NewGraph()
+			if _, err := rdf.ReadNTriples(bytes.NewReader(text), g); err != nil {
+				b.Fatal(err)
+			}
+			if g.Size() != total {
+				b.Fatalf("parse saw %d triples, want %d", g.Size(), total)
+			}
+		}
+	})
+}

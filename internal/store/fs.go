@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"alex/internal/wal"
+)
+
+// Optional wal.FS extensions the store probes for with type assertions,
+// so the FS interface itself stays unchanged for existing implementers.
+type (
+	// linker hardlinks files; wal.OS and faultfs.FS implement it.
+	// Checkpoints use it to share immutable segment bytes with zero
+	// copying, falling back to a copy when linking fails (different
+	// filesystem) or the FS does not support it.
+	linker interface {
+		Link(oldname, newname string) error
+	}
+	// mmapFaulter vetoes memory-mapping a file; faultfs implements it
+	// to inject mmap failures and to keep a crashed process from
+	// reading segments around the FS wrapper.
+	mmapFaulter interface {
+		MmapFault(path string) error
+	}
+)
+
+// mapOrRead returns the segment file's bytes, preferring an OS mmap
+// (reported by the bool) and falling back to reading the file into
+// memory through fsys.
+func mapOrRead(fsys wal.FS, path string, noMmap bool) ([]byte, bool, error) {
+	if mf, ok := fsys.(mmapFaulter); ok {
+		if mf.MmapFault(path) != nil {
+			// The mapping is vetoed (injected mmap failure or crash).
+			// Fall back to the heap read below — on a crashed FS, Open
+			// enforces the crash there.
+			noMmap = true
+		}
+	}
+	if !noMmap && mmapAvailable {
+		if data, err := mmapOpen(path); err == nil {
+			return data, true, nil
+		}
+		// Fall through: the file may only be visible through fsys, or
+		// the platform refused the mapping; a heap read is always valid.
+	}
+	r, err := fsys.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	data, rerr := io.ReadAll(r)
+	cerr := r.Close()
+	if rerr != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", path, rerr)
+	}
+	if cerr != nil {
+		return nil, false, fmt.Errorf("store: close %s: %w", path, cerr)
+	}
+	return data, false, nil
+}
+
+// linkOrCopy makes newpath refer to oldpath's current content: a
+// hardlink when the FS supports it, a full copy otherwise. Only ever
+// applied to immutable files, where both are equivalent.
+func linkOrCopy(fsys wal.FS, oldpath, newpath string) error {
+	if l, ok := fsys.(linker); ok {
+		if err := l.Link(oldpath, newpath); err == nil {
+			return nil
+		}
+	}
+	r, err := fsys.Open(oldpath)
+	if err != nil {
+		return fmt.Errorf("store: copy %s: %w", oldpath, err)
+	}
+	w, err := fsys.Create(newpath)
+	if err != nil {
+		r.Close() //lint:ignore syncerr read-only handle released on the error path
+		return fmt.Errorf("store: copy to %s: %w", newpath, err)
+	}
+	_, cpErr := io.Copy(w, r)
+	if cpErr == nil {
+		cpErr = w.Sync()
+	}
+	if err := w.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if err := r.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr != nil {
+		return fmt.Errorf("store: copy %s -> %s: %w", oldpath, newpath, cpErr)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// mmapAvailable reports that this platform cannot memory-map segments;
+// openSegment falls back to reading files into memory.
+const mmapAvailable = false
+
+func mmapOpen(path string) ([]byte, error) {
+	return nil, errors.New("store: mmap unavailable on this platform")
+}
+
+func munmap(b []byte) error { return nil }
